@@ -1,0 +1,60 @@
+//! Extension study: the technique ladder in *energy* terms.
+//!
+//! The paper motivates SPM reuse with throughput and power efficiency
+//! (§2.1). All techniques perform identical MACs, so energy differences
+//! come from the DRAM term — on DRAM-expensive edge devices the energy
+//! ladder is at least as pronounced as the time ladder.
+
+use igo_core::{simulate_model, Technique};
+use igo_npu_sim::{EnergyModel, EnergyReport, NpuConfig};
+use igo_workloads::zoo;
+
+fn main() {
+    igo_bench::header(
+        "Extension — training-step energy per technique",
+        "not in the paper's evaluation; quantifies the §2.1 power-efficiency motivation",
+    );
+    for (config, suite) in [
+        (NpuConfig::small_edge(), zoo::edge_suite(4)),
+        (NpuConfig::large_single_core(), zoo::server_suite(8)),
+    ] {
+        let model_energy = EnergyModel::for_config(&config);
+        println!(
+            "-- {} (DRAM {} pJ/B) --",
+            config.name, model_energy.pj_per_dram_byte
+        );
+        println!(
+            "{:<6} {:>12} {:>12} {:>12} {:>10}",
+            "model", "base (mJ)", "ours (mJ)", "saved", "dram share"
+        );
+        let mut base_total = 0.0;
+        let mut ours_total = 0.0;
+        for model in &suite {
+            let energy_of = |technique| {
+                let report = simulate_model(model, &config, technique);
+                let mut e = EnergyReport::default();
+                for layer in &report.layers {
+                    e.add(&model_energy.estimate(&layer.forward.scaled(layer.multiplicity)));
+                    e.add(&model_energy.estimate(&layer.backward.scaled(layer.multiplicity)));
+                }
+                e
+            };
+            let base = energy_of(Technique::Baseline);
+            let ours = energy_of(Technique::DataPartitioning);
+            base_total += base.total_mj();
+            ours_total += ours.total_mj();
+            println!(
+                "{:<6} {:>12.2} {:>12.2} {:>11.1}% {:>9.1}%",
+                model.id.abbr(),
+                base.total_mj(),
+                ours.total_mj(),
+                (1.0 - ours.total_pj() / base.total_pj()) * 100.0,
+                base.dram_fraction() * 100.0
+            );
+        }
+        println!(
+            "suite total: {base_total:.1} mJ -> {ours_total:.1} mJ ({:.1}% saved)\n",
+            (1.0 - ours_total / base_total) * 100.0
+        );
+    }
+}

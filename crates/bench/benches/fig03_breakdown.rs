@@ -1,0 +1,43 @@
+//! Figure 3: training-step time decomposition on an A100-class GPU
+//! (batch 256), per model and averaged.
+//!
+//! Paper averages: forward 27.6%, backward 56.5%, memcopy 3.0%,
+//! loss 2.6%, update 10.3%.
+
+use igo_gpu_sim::breakdown::{average_fractions, training_breakdown, GpuConfig};
+use igo_workloads::zoo;
+
+fn main() {
+    igo_bench::header(
+        "Figure 3 — A100 training-step breakdown (batch 256)",
+        "avg: fwd 27.6% / bwd 56.5% / memcopy 3.0% / loss 2.6% / update 10.3%",
+    );
+    let gpu = GpuConfig::a100();
+    let suite = zoo::server_suite(256);
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "model", "fwd", "bwd", "memcopy", "loss", "update"
+    );
+    for model in &suite {
+        let f = training_breakdown(model, &gpu).fractions();
+        println!(
+            "{:<6} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            model.id.abbr(),
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            f[3] * 100.0,
+            f[4] * 100.0
+        );
+    }
+    let avg = average_fractions(&suite, &gpu);
+    println!(
+        "{:<6} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%   <- paper: 27.6 / 56.5 / 3.0 / 2.6 / 10.3",
+        "AVG",
+        avg[0] * 100.0,
+        avg[1] * 100.0,
+        avg[2] * 100.0,
+        avg[3] * 100.0,
+        avg[4] * 100.0
+    );
+}

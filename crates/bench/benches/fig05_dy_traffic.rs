@@ -1,0 +1,45 @@
+//! Figure 5: share of the output gradient `dY` in backward-pass DRAM
+//! traffic under the baseline schedule, on the large NPU.
+//!
+//! Paper: dY is 39.0% of read+write traffic and 51.4% of read traffic on
+//! average; 68.3% of reads for dlrm.
+
+use igo_core::{simulate_model, Technique};
+use igo_npu_sim::NpuConfig;
+use igo_tensor::TensorClass;
+use igo_workloads::zoo;
+
+fn main() {
+    igo_bench::header(
+        "Figure 5 — dY share of backward-pass traffic (large NPU, baseline)",
+        "avg read+write 39.0%, avg read 51.4%; dlrm read 68.3%",
+    );
+    let config = NpuConfig::large_single_core();
+    let suite = zoo::server_suite(config.default_batch());
+    println!(
+        "{:<6} {:>16} {:>12}",
+        "model", "read+write", "read-only"
+    );
+    let mut rw = Vec::new();
+    let mut ro = Vec::new();
+    for model in &suite {
+        let report = simulate_model(model, &config, Technique::Baseline);
+        let t = report.backward_traffic();
+        let rw_ratio = t.total_ratio(TensorClass::OutGrad);
+        let read_ratio = t.read_ratio(TensorClass::OutGrad);
+        rw.push(rw_ratio);
+        ro.push(read_ratio);
+        println!(
+            "{:<6} {:>15.1}% {:>11.1}%",
+            model.id.abbr(),
+            rw_ratio * 100.0,
+            read_ratio * 100.0
+        );
+    }
+    println!(
+        "{:<6} {:>15.1}% {:>11.1}%   <- paper avg: 39.0% / 51.4%",
+        "AVG",
+        igo_bench::mean(&rw) * 100.0,
+        igo_bench::mean(&ro) * 100.0
+    );
+}

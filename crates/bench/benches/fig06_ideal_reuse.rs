@@ -1,0 +1,44 @@
+//! Figure 6: performance potential when the entire `dY` is reused — the
+//! baseline schedule with the `dW` pass's `dY` reads elided (§3.3).
+//!
+//! Paper: average speedup 1.43x on the large NPU and 1.70x on the small
+//! NPU; the smaller SPM leaves more to gain.
+
+use igo_core::{simulate_model, Technique};
+use igo_npu_sim::NpuConfig;
+use igo_workloads::zoo;
+
+fn main() {
+    igo_bench::header(
+        "Figure 6 — hypothetical full dY reuse (normalised execution time)",
+        "avg speedup 1.43x (large NPU), 1.70x (small NPU)",
+    );
+    for (config, suite) in [
+        (NpuConfig::large_single_core(), zoo::server_suite(8)),
+        (NpuConfig::small_edge(), zoo::edge_suite(4)),
+    ] {
+        println!("-- {} --", config.name);
+        let mut speedups = Vec::new();
+        for model in &suite {
+            let base = simulate_model(model, &config, Technique::Baseline);
+            let ideal = simulate_model(model, &config, Technique::IdealDyReuse);
+            let speedup = base.total_cycles() as f64 / ideal.total_cycles() as f64;
+            speedups.push(speedup);
+            println!(
+                "{:<6} normalised time {:>6.3}  (speedup {:>5.2}x)",
+                model.id.abbr(),
+                1.0 / speedup,
+                speedup
+            );
+        }
+        println!(
+            "AVG    speedup {:>5.2}x   <- paper: {}",
+            igo_bench::mean(&speedups),
+            if config.cores == 1 && config.pe.rows == 128 {
+                "1.43x"
+            } else {
+                "1.70x"
+            }
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 12: cumulative technique ladder on the two single-core NPUs,
+//! execution time normalised to the baseline.
+//!
+//! Paper averages: small NPU — Interleaving −0.8%, +Rearrangement −23.8%,
+//! +DataPartitioning −29.3%; large NPU — −7.4%, −10.9%, −14.5%.
+
+use igo_npu_sim::NpuConfig;
+use igo_workloads::zoo;
+
+fn main() {
+    igo_bench::header(
+        "Figure 12 — single-core technique ladder (normalised exec time)",
+        "small NPU avg: 0.992 / 0.762 / 0.707; large NPU avg: 0.926 / 0.891 / 0.855",
+    );
+    for (config, suite, paper) in [
+        (
+            NpuConfig::small_edge(),
+            zoo::edge_suite(4),
+            "paper avg: inter 0.992, +rearr 0.762, +part 0.707",
+        ),
+        (
+            NpuConfig::large_single_core(),
+            zoo::server_suite(8),
+            "paper avg: inter 0.926, +rearr 0.891, +part 0.855",
+        ),
+    ] {
+        println!("-- {} --", config.name);
+        println!(
+            "{:<6} {:>13} {:>15} {:>18}",
+            "model", "Interleaving", "+Rearrangement", "+DataPartitioning"
+        );
+        let mut cols = [Vec::new(), Vec::new(), Vec::new()];
+        for model in &suite {
+            let (base, rest) = igo_bench::ladder(model, &config);
+            let norms: Vec<f64> = rest.iter().map(|r| r.normalized_to(&base)).collect();
+            for (c, n) in cols.iter_mut().zip(&norms) {
+                c.push(*n);
+            }
+            println!(
+                "{:<6} {:>13.3} {:>15.3} {:>18.3}",
+                model.id.abbr(),
+                norms[0],
+                norms[1],
+                norms[2]
+            );
+        }
+        println!(
+            "{:<6} {:>13.3} {:>15.3} {:>18.3}   <- {paper}",
+            "AVG",
+            igo_bench::mean(&cols[0]),
+            igo_bench::mean(&cols[1]),
+            igo_bench::mean(&cols[2]),
+        );
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 14: multi-core scalability — the full technique stack vs the
+//! baseline with the same core count, for 1/2/4/8 large-NPU cores (DRAM
+//! bandwidth, SPM and batch scale with cores; SPM shared).
+//!
+//! Paper: improvements grow from 14.5% (single core) to 27.7% (octa-core);
+//! 23.7% on the TPUv4-TensorCore-like quad-core; worst case (octa-core
+//! mob) still 10.5%.
+
+use igo_core::{simulate_model, Technique};
+use igo_npu_sim::NpuConfig;
+use igo_workloads::zoo;
+
+fn main() {
+    igo_bench::header(
+        "Figure 14 — multi-core scaling (normalised to same-core-count baseline)",
+        "avg improvement: 14.5% (x1) -> 23.7% (x4) -> 27.7% (x8)",
+    );
+    print!("{:<6}", "model");
+    for cores in [1u32, 2, 4, 8] {
+        print!(" {:>8}", format!("x{cores}"));
+    }
+    println!();
+
+    let mut means = [0.0f64; 4];
+    let suite_ids = zoo::SERVER_SUITE;
+    for id in suite_ids {
+        print!("{:<6}", id.abbr());
+        for (idx, cores) in [1u32, 2, 4, 8].into_iter().enumerate() {
+            let config = NpuConfig::large_server(cores);
+            let model = zoo::model(id, config.default_batch());
+            let base = simulate_model(&model, &config, Technique::Baseline);
+            let ours = simulate_model(&model, &config, Technique::DataPartitioning);
+            let norm = ours.normalized_to(&base);
+            means[idx] += norm;
+            print!(" {norm:>8.3}");
+        }
+        println!();
+    }
+    print!("{:<6}", "AVG");
+    for m in means {
+        print!(" {:>8.3}", m / suite_ids.len() as f64);
+    }
+    println!("   <- paper avg: 0.855 / ~0.80 / 0.763 / 0.723");
+}

@@ -1,0 +1,41 @@
+//! Figure 15: sensitivity to DRAM bandwidth — the full stack vs the
+//! baseline at 1x / 0.5x / 0.25x of the large NPU's 150 GB/s.
+//!
+//! Paper: improvements grow as bandwidth shrinks — 14.5%, 19.3%, 22.7%.
+
+use igo_core::{simulate_model, Technique};
+use igo_npu_sim::NpuConfig;
+use igo_workloads::zoo;
+
+fn main() {
+    igo_bench::header(
+        "Figure 15 — DRAM bandwidth sensitivity (large NPU, single core)",
+        "avg improvement 14.5% (1x), 19.3% (0.5x), 22.7% (0.25x)",
+    );
+    let scales = [1.0f64, 0.5, 0.25];
+    print!("{:<6}", "model");
+    for s in scales {
+        print!(" {:>8}", format!("{s}x"));
+    }
+    println!();
+
+    let suite = zoo::server_suite(8);
+    let mut means = [0.0f64; 3];
+    for model in &suite {
+        print!("{:<6}", model.id.abbr());
+        for (idx, scale) in scales.into_iter().enumerate() {
+            let config = NpuConfig::large_single_core().with_bandwidth_scale(scale);
+            let base = simulate_model(model, &config, Technique::Baseline);
+            let ours = simulate_model(model, &config, Technique::DataPartitioning);
+            let norm = ours.normalized_to(&base);
+            means[idx] += norm;
+            print!(" {norm:>8.3}");
+        }
+        println!();
+    }
+    print!("{:<6}", "AVG");
+    for m in means {
+        print!(" {:>8.3}", m / suite.len() as f64);
+    }
+    println!("   <- paper avg: 0.855 / 0.807 / 0.773");
+}

@@ -1,0 +1,43 @@
+//! Figure 16: sensitivity to batch size — the full stack vs the baseline
+//! at per-core batch 8 / 16 / 32 on the single-core large NPU (compute,
+//! bandwidth and SPM held constant).
+//!
+//! Paper: improvements are essentially flat — 14.5%, 14.7%, 14.0%.
+
+use igo_core::{simulate_model, Technique};
+use igo_npu_sim::NpuConfig;
+use igo_workloads::zoo;
+
+fn main() {
+    igo_bench::header(
+        "Figure 16 — batch-size sensitivity (large NPU, single core)",
+        "avg improvement 14.5% (b8), 14.7% (b16), 14.0% (b32): no consistent trend",
+    );
+    let batches = [8u64, 16, 32];
+    print!("{:<6}", "model");
+    for b in batches {
+        print!(" {:>8}", format!("b{b}"));
+    }
+    println!();
+
+    let mut means = [0.0f64; 3];
+    let ids = zoo::SERVER_SUITE;
+    for id in ids {
+        print!("{:<6}", id.abbr());
+        for (idx, batch) in batches.into_iter().enumerate() {
+            let config = NpuConfig::large_single_core().with_batch_per_core(batch);
+            let model = zoo::model(id, batch);
+            let base = simulate_model(&model, &config, Technique::Baseline);
+            let ours = simulate_model(&model, &config, Technique::DataPartitioning);
+            let norm = ours.normalized_to(&base);
+            means[idx] += norm;
+            print!(" {norm:>8.3}");
+        }
+        println!();
+    }
+    print!("{:<6}", "AVG");
+    for m in means {
+        print!(" {:>8.3}", m / ids.len() as f64);
+    }
+    println!("   <- paper avg: 0.855 / 0.853 / 0.860 (flat)");
+}

@@ -1,0 +1,32 @@
+//! Table 2: prior DNN-scheduling studies vs this work.
+//!
+//! A static capability matrix; printed for completeness so the full set of
+//! tables regenerates from `cargo bench`.
+
+fn main() {
+    igo_bench::header(
+        "Table 2 — prior studies for DNN scheduling space",
+        "reuse-in-independent-operations / training / tiling flags",
+    );
+    println!(
+        "{:<14} {:^28} {:^10} {:^8}",
+        "study", "reuse in independent ops", "training", "tiling"
+    );
+    let rows = [
+        ("Maestro", false, false, true),
+        ("MARVEL", false, false, true),
+        ("Timeloop", false, false, true),
+        ("Interstellar", false, false, true),
+        ("Ours (IGO)", true, true, true),
+    ];
+    for (name, inter_op, training, tiling) in rows {
+        let mark = |b: bool| if b { "yes" } else { "-" };
+        println!(
+            "{:<14} {:^28} {:^10} {:^8}",
+            name,
+            mark(inter_op),
+            mark(training),
+            mark(tiling)
+        );
+    }
+}

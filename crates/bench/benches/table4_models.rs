@@ -1,0 +1,41 @@
+//! Table 4: the evaluated DNN models, rebuilt from the zoo with their
+//! measured parameter counts next to the paper's.
+
+use igo_workloads::{zoo, ModelId};
+
+fn row(id: ModelId, batch: u64, paper_params: &str) {
+    let m = zoo::model(id, batch);
+    let params = m.params();
+    let human = if params >= 1_000_000_000 {
+        format!("{:.1}B", params as f64 / 1e9)
+    } else {
+        format!("{:.0}M", params as f64 / 1e6)
+    };
+    println!(
+        "{:<22} {:>5}  paper {:>6}  ours {:>7}  ({} distinct layers, {} total)",
+        m.name,
+        m.id.abbr(),
+        paper_params,
+        human,
+        m.distinct_layers(),
+        m.total_layers()
+    );
+}
+
+fn main() {
+    igo_bench::header("Table 4 — evaluated DNN models", "parameter counts per Table 4");
+    println!("-- server-suite variants (batch 8) --");
+    row(ModelId::FasterRcnn, 8, "19M");
+    row(ModelId::GoogleNet, 8, "62M");
+    row(ModelId::Ncf, 8, "3B");
+    row(ModelId::Resnet50, 8, "25M");
+    row(ModelId::Dlrm, 8, "25B");
+    row(ModelId::MobileNet, 8, "13M");
+    row(ModelId::YoloV5, 8, "47M");
+    row(ModelId::BertLarge, 8, "340M");
+    row(ModelId::T5Large, 8, "770M");
+    println!("-- edge-suite size variants (batch 4) --");
+    row(ModelId::YoloV2Tiny, 4, "11M");
+    row(ModelId::BertTiny, 4, "14M");
+    row(ModelId::T5Small, 4, "60M");
+}

@@ -1,0 +1,62 @@
+//! Shared utilities for the experiment harnesses.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated bench
+//! target under `benches/` (all with `harness = false`, so `cargo bench`
+//! runs them and prints the same rows/series the paper reports).
+//! `EXPERIMENTS.md` at the repository root records paper-vs-measured for
+//! each.
+
+use igo_core::{simulate_model, ModelReport, Technique};
+use igo_npu_sim::NpuConfig;
+use igo_workloads::Model;
+
+/// Print a header naming the experiment and the paper reference.
+pub fn header(id: &str, paper: &str) {
+    println!("================================================================");
+    println!("{id}");
+    println!("paper reference: {paper}");
+    println!("================================================================");
+}
+
+/// Simulate the whole technique ladder for one model; returns
+/// `(baseline, [interleaving, rearrangement, partitioning])`.
+pub fn ladder(model: &Model, config: &NpuConfig) -> (ModelReport, [ModelReport; 3]) {
+    let base = simulate_model(model, config, Technique::Baseline);
+    let rest = [
+        simulate_model(model, config, Technique::Interleaving),
+        simulate_model(model, config, Technique::Rearrangement),
+        simulate_model(model, config, Technique::DataPartitioning),
+    ];
+    (base, rest)
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// `1 - x` as a percentage string, e.g. `0.855 -> "+14.5%"`.
+pub fn improvement(normalized: f64) -> String {
+    format!("{:+.1}%", (1.0 - normalized) * 100.0)
+}
+
+/// Fixed-width model label (Table 4 abbreviation).
+pub fn abbr(model: &Model) -> String {
+    format!("{:>5}", model.id.abbr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_formats_signed_percent() {
+        assert_eq!(improvement(0.855), "+14.5%");
+        assert_eq!(improvement(1.05), "-5.0%");
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

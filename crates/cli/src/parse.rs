@@ -1,0 +1,70 @@
+//! Argument parsing for `igo-sim` (dependency-free by design).
+
+use igo_npu_sim::NpuConfig;
+use igo_workloads::ModelId;
+
+/// Accepted model abbreviations (superset of Table 4's: the size variants
+/// get explicit names).
+pub const MODEL_TABLE: &[(&str, ModelId)] = &[
+    ("rcnn", ModelId::FasterRcnn),
+    ("goo", ModelId::GoogleNet),
+    ("ncf", ModelId::Ncf),
+    ("res", ModelId::Resnet50),
+    ("dlrm", ModelId::Dlrm),
+    ("mob", ModelId::MobileNet),
+    ("yolo", ModelId::YoloV5),
+    ("yolo-tiny", ModelId::YoloV2Tiny),
+    ("bert", ModelId::BertLarge),
+    ("bert-tiny", ModelId::BertTiny),
+    ("t5", ModelId::T5Large),
+    ("t5-small", ModelId::T5Small),
+];
+
+/// Parse a model abbreviation.
+pub fn parse_model(arg: &str) -> Option<ModelId> {
+    let lower = arg.to_ascii_lowercase();
+    MODEL_TABLE
+        .iter()
+        .find(|(abbr, _)| *abbr == lower)
+        .map(|(_, id)| *id)
+}
+
+/// Parse `edge`, `server`, or `serverxN` (N in 1..=8).
+pub fn parse_config(arg: &str) -> Option<NpuConfig> {
+    let lower = arg.to_ascii_lowercase();
+    match lower.as_str() {
+        "edge" | "small" => Some(NpuConfig::small_edge()),
+        "server" | "large" => Some(NpuConfig::large_single_core()),
+        _ => {
+            let cores: u32 = lower.strip_prefix("serverx")?.parse().ok()?;
+            if (1..=8).contains(&cores) {
+                Some(NpuConfig::large_server(cores))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_table_entries() {
+        for (abbr, id) in MODEL_TABLE {
+            assert_eq!(parse_model(abbr), Some(*id));
+        }
+        assert_eq!(parse_model("RES"), Some(ModelId::Resnet50));
+        assert_eq!(parse_model("nope"), None);
+    }
+
+    #[test]
+    fn parses_configs() {
+        assert_eq!(parse_config("edge").unwrap().cores, 1);
+        assert_eq!(parse_config("server").unwrap().pe.rows, 128);
+        assert_eq!(parse_config("serverx4").unwrap().cores, 4);
+        assert!(parse_config("serverx16").is_none());
+        assert!(parse_config("gpu").is_none());
+    }
+}

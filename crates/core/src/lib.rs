@@ -1,0 +1,55 @@
+//! # igo-core — the interleaved gradient order
+//!
+//! The primary contribution of the reproduced paper: a dataflow
+//! transformation stack for the backward pass of DNN training on NPUs.
+//!
+//! 1. **Interleaving** ([`schedule::BackwardBuilder::interleaved`], §4.2):
+//!    fuse the independent `dX` and `dW` tile streams so the shared output
+//!    gradient `dY` is fetched once while resident in SPM.
+//! 2. **Rearrangement** ([`select::select_order`], §4.3): pick the common
+//!    `dY` traversal — plain interleaving, dXmajor, or dWmajor — statically
+//!    from the tensor dimensions (Algorithm 1).
+//! 3. **Data partitioning** ([`partition`], §5): split the fused GEMM pair
+//!    along M / N / K for single-core sequencing or multi-core
+//!    distribution, selecting the scheme per layer by simulation oracle or
+//!    by the KNN predictor ([`partition_select`]).
+//!
+//! [`pipeline::simulate_model`] drives a whole training step (forward +
+//! backward) of any [`igo_workloads::Model`] under any
+//! [`technique::Technique`] and reports cycles and per-class DRAM traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use igo_core::{simulate_model, Technique};
+//! use igo_npu_sim::NpuConfig;
+//! use igo_workloads::{zoo, ModelId};
+//!
+//! let config = NpuConfig::large_single_core();
+//! let model = zoo::model(ModelId::Ncf, config.default_batch());
+//! let base = simulate_model(&model, &config, Technique::Baseline);
+//! let ours = simulate_model(&model, &config, Technique::DataPartitioning);
+//! assert!(ours.total_cycles() <= base.total_cycles());
+//! ```
+
+pub mod exec;
+pub mod partition;
+pub mod partition_select;
+pub mod pipeline;
+pub mod report_io;
+pub mod schedule;
+pub mod select;
+pub mod technique;
+pub mod tiling;
+
+pub use exec::{execute_backward, execute_partitioned, DenseLayer, ExecutedGradients};
+pub use partition::PartitionScheme;
+pub use pipeline::{
+    simulate_layer_backward, simulate_layer_backward_ex, simulate_layer_forward,
+    simulate_layer_forward_ex, simulate_model, LayerDecision, LayerOutcome, ModelReport,
+    TrainingPhase,
+};
+pub use schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
+pub use select::select_order;
+pub use technique::Technique;
+pub use tiling::TilePolicy;

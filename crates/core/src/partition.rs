@@ -1,0 +1,389 @@
+//! Data partitioning for the rearranged gradient order (paper §5).
+//!
+//! A layer's fused backward GEMM pair can be split along any of the three
+//! GEMM dimensions; the split decides which tensor is shared by all
+//! partitions and which gradient needs a cross-partition reduction
+//! (Figure 11):
+//!
+//! | Scheme | Splits | Shared | Reduction |
+//! |---|---|---|---|
+//! | weight-sharing (a) | `M` (batch) | `W` | `dW` partials |
+//! | dY-sharing (b) | `N` | `X` | `dX` partials |
+//! | ifmap-sharing (c) | `K` | `dY` | none |
+//!
+//! Shared tensors keep the *parent* tensor id, so on a single core the
+//! sequentially executed partitions genuinely re-hit the shared tiles in
+//! SPM, while split tensors get fresh per-partition ids (their tiles are
+//! different data). Reductions are modelled as a bandwidth-cost
+//! [`StreamOp`]: read all `P` partial tensors, write the combined result.
+
+use crate::schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
+use crate::tiling::TilePolicy;
+use igo_npu_sim::{Schedule, StreamOp};
+use igo_tensor::{GemmDim, GemmShape, TensorClass};
+use serde::{Deserialize, Serialize};
+
+/// The three partitioning schemes of Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// Split `M` (batch): conventional data parallelism; `W` shared, `dW`
+    /// reduced.
+    WeightSharing,
+    /// Split `N`: `X` shared (duplicated per core), `dX` reduced.
+    DySharing,
+    /// Split `K`: `dY` shared (duplicated per core), no reduction.
+    IfmapSharing,
+}
+
+impl PartitionScheme {
+    /// All schemes, in Figure 11 order.
+    pub const ALL: [PartitionScheme; 3] = [
+        PartitionScheme::WeightSharing,
+        PartitionScheme::DySharing,
+        PartitionScheme::IfmapSharing,
+    ];
+
+    /// The GEMM dimension this scheme splits.
+    pub fn split_dim(self) -> GemmDim {
+        match self {
+            PartitionScheme::WeightSharing => GemmDim::M,
+            PartitionScheme::DySharing => GemmDim::N,
+            PartitionScheme::IfmapSharing => GemmDim::K,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PartitionScheme::WeightSharing => "weight-sharing(M)",
+            PartitionScheme::DySharing => "dY-sharing(N)",
+            PartitionScheme::IfmapSharing => "ifmap-sharing(K)",
+        }
+    }
+}
+
+impl core::fmt::Display for PartitionScheme {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A partitioned backward pass, ready to run sequentially (single core) or
+/// one-per-core (multi-core).
+#[derive(Debug, Clone)]
+pub struct PartitionedBackward {
+    /// One schedule per partition. All partitions share one complete
+    /// tensor table (compatible forks), so they can also be chained
+    /// sequentially with residency intact.
+    pub schedules: Vec<Schedule>,
+    /// Cross-partition reduction cost, if the scheme needs one.
+    pub reduction: Option<StreamOp>,
+    /// The scheme used.
+    pub scheme: PartitionScheme,
+    /// Tensor bindings of each partition (shared roles keep the parent
+    /// ids). Used by the numerical executor to map partition tiles back
+    /// onto the layer's data.
+    pub part_tensors: Vec<LayerTensors>,
+    /// The per-partition sub-GEMMs, in order.
+    pub sub_gemms: Vec<igo_tensor::GemmShape>,
+}
+
+/// Build the partitioned backward pass of one layer.
+///
+/// `proto` must be a schedule holding the parent layer's tensors
+/// (`tensors`); each partition schedule is a fork of it. `order` is the
+/// per-partition emission order (partitioning composes with interleaving /
+/// rearrangement — the paper's third step "relies on the results from the
+/// first two").
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn partition_backward(
+    proto: &Schedule,
+    tensors: LayerTensors,
+    gemm: GemmShape,
+    policy: TilePolicy,
+    scheme: PartitionScheme,
+    parts: u64,
+    order: BackwardOrder,
+    is_first: bool,
+) -> PartitionedBackward {
+    partition_backward_ex(
+        proto, tensors, gemm, 1.0, policy, scheme, parts, order, is_first,
+    )
+}
+
+/// [`partition_backward`] with an explicit ifmap density (raw-layout
+/// `X`/`dX` traffic scaling for convolution layers).
+#[allow(clippy::too_many_arguments)]
+pub fn partition_backward_ex(
+    proto: &Schedule,
+    tensors: LayerTensors,
+    gemm: GemmShape,
+    ifmap_density: f64,
+    policy: TilePolicy,
+    scheme: PartitionScheme,
+    parts: u64,
+    order: BackwardOrder,
+    is_first: bool,
+) -> PartitionedBackward {
+    assert!(parts > 0, "need at least one partition");
+    let sub_gemms = gemm.split(scheme.split_dim(), parts);
+    let actual_parts = sub_gemms.len() as u64;
+    let dtype = policy.dtype;
+
+    // Phase 1: register every partition's split tensors in one master
+    // fork, so all partition schedules share a single complete tensor
+    // table (required for sequential chaining). Split tensors get fresh
+    // per-partition identities; the shared tensor keeps the parent id
+    // (its grid is untouched by the split, so parent coordinates remain
+    // valid).
+    let mut master = proto.fork(format!("{}-master", scheme.label()));
+    let part_tensors: Vec<LayerTensors> = (0..sub_gemms.len())
+        .map(|p| match scheme {
+            PartitionScheme::WeightSharing => LayerTensors {
+                x: master.add_tensor(TensorClass::Ifmap, format!("X[{p}]")),
+                w: tensors.w,
+                y: master.add_tensor(TensorClass::Ofmap, format!("Y[{p}]")),
+                dx: master.add_tensor(TensorClass::InGrad, format!("dX[{p}]")),
+                dw: master.add_tensor(TensorClass::WGrad, format!("dW_part[{p}]")),
+                dy: master.add_tensor(TensorClass::OutGrad, format!("dY[{p}]")),
+            },
+            PartitionScheme::DySharing => LayerTensors {
+                x: tensors.x,
+                w: master.add_tensor(TensorClass::Weight, format!("W[{p}]")),
+                y: master.add_tensor(TensorClass::Ofmap, format!("Y[{p}]")),
+                dx: master.add_tensor(TensorClass::InGrad, format!("dX_part[{p}]")),
+                dw: master.add_tensor(TensorClass::WGrad, format!("dW[{p}]")),
+                dy: master.add_tensor(TensorClass::OutGrad, format!("dY[{p}]")),
+            },
+            PartitionScheme::IfmapSharing => LayerTensors {
+                x: master.add_tensor(TensorClass::Ifmap, format!("X[{p}]")),
+                w: master.add_tensor(TensorClass::Weight, format!("W[{p}]")),
+                y: master.add_tensor(TensorClass::Ofmap, format!("Y[{p}]")),
+                dx: master.add_tensor(TensorClass::InGrad, format!("dX[{p}]")),
+                dw: master.add_tensor(TensorClass::WGrad, format!("dW[{p}]")),
+                dy: tensors.dy,
+            },
+        })
+        .collect();
+
+    // Phase 2: emit each partition into its own fork of the master.
+    let mut schedules = Vec::with_capacity(sub_gemms.len());
+    for (p, (sub, t)) in sub_gemms.iter().zip(&part_tensors).enumerate() {
+        let mut s = master.fork(format!("{}[{p}]", scheme.label()));
+        let builder =
+            BackwardBuilder::new(*sub, policy, *t).with_ifmap_density(ifmap_density);
+        builder.emit(order, is_first, &mut s);
+        schedules.push(s);
+    }
+
+    // Reduction: read P partial tensors, write the combined one.
+    let reduction = match scheme {
+        PartitionScheme::WeightSharing => {
+            let dw_bytes = gemm.dw_dims().bytes(dtype);
+            Some(StreamOp {
+                class: TensorClass::WGrad,
+                read_bytes: actual_parts * dw_bytes,
+                write_bytes: dw_bytes,
+            })
+        }
+        // A first layer computes no dX, so dY-sharing needs no reduction
+        // there.
+        PartitionScheme::DySharing if !is_first => {
+            let dx_bytes =
+                ((gemm.dx_dims().bytes(dtype) as f64 * ifmap_density).ceil()) as u64;
+            Some(StreamOp {
+                class: TensorClass::InGrad,
+                read_bytes: actual_parts * dx_bytes,
+                write_bytes: dx_bytes,
+            })
+        }
+        _ => None,
+    };
+
+    PartitionedBackward {
+        schedules,
+        reduction,
+        scheme,
+        part_tensors,
+        sub_gemms,
+    }
+}
+
+/// Build a batch-split (M) forward pass: one schedule per partition, `W`
+/// shared, no reduction. This is how both the baseline and the transformed
+/// multi-core runs execute the forward pass (the paper's techniques only
+/// change the backward pass).
+pub fn partition_forward(
+    proto: &Schedule,
+    tensors: LayerTensors,
+    gemm: GemmShape,
+    policy: TilePolicy,
+    parts: u64,
+) -> Vec<Schedule> {
+    partition_forward_ex(proto, tensors, gemm, 1.0, policy, parts)
+}
+
+/// [`partition_forward`] with an explicit ifmap density.
+pub fn partition_forward_ex(
+    proto: &Schedule,
+    tensors: LayerTensors,
+    gemm: GemmShape,
+    ifmap_density: f64,
+    policy: TilePolicy,
+    parts: u64,
+) -> Vec<Schedule> {
+    assert!(parts > 0, "need at least one partition");
+    let sub_gemms = gemm.split(GemmDim::M, parts);
+    let mut master = proto.fork("fwd-master");
+    let part_tensors: Vec<LayerTensors> = (0..sub_gemms.len())
+        .map(|p| LayerTensors {
+            x: master.add_tensor(TensorClass::Ifmap, format!("X[{p}]")),
+            w: tensors.w,
+            y: master.add_tensor(TensorClass::Ofmap, format!("Y[{p}]")),
+            dx: tensors.dx,
+            dw: tensors.dw,
+            dy: tensors.dy,
+        })
+        .collect();
+    let mut schedules = Vec::with_capacity(sub_gemms.len());
+    for (p, (sub, t)) in sub_gemms.iter().zip(&part_tensors).enumerate() {
+        let mut s = master.fork(format!("fwd[{p}]"));
+        crate::schedule::forward_schedule(*sub, policy, *t, ifmap_density, &mut s);
+        schedules.push(s);
+    }
+    schedules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igo_npu_sim::NpuConfig;
+
+    fn setup(_gemm: GemmShape) -> (Schedule, LayerTensors, TilePolicy) {
+        let mut proto = Schedule::new("proto");
+        let tensors = LayerTensors::register(&mut proto, "l");
+        let policy = TilePolicy::for_config(&NpuConfig::large_single_core());
+        (proto, tensors, policy)
+    }
+
+    #[test]
+    fn partitions_preserve_total_macs() {
+        let gemm = GemmShape::new(512, 384, 640);
+        let (proto, tensors, policy) = setup(gemm);
+        for scheme in PartitionScheme::ALL {
+            for parts in [2u64, 4] {
+                let p = partition_backward(
+                    &proto,
+                    tensors,
+                    gemm,
+                    policy,
+                    scheme,
+                    parts,
+                    BackwardOrder::Interleaved,
+                    false,
+                );
+                let macs: u64 = p.schedules.iter().map(|s| s.total_macs()).sum();
+                assert_eq!(macs, gemm.backward_macs(), "{scheme} x{parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_matches_scheme() {
+        let gemm = GemmShape::new(256, 256, 256);
+        let (proto, tensors, policy) = setup(gemm);
+        let ws = partition_backward(
+            &proto, tensors, gemm, policy,
+            PartitionScheme::WeightSharing, 2, BackwardOrder::Baseline, false,
+        );
+        let red = ws.reduction.unwrap();
+        assert_eq!(red.class, TensorClass::WGrad);
+        assert_eq!(red.read_bytes, 2 * 256 * 256 * 4);
+        assert_eq!(red.write_bytes, 256 * 256 * 4);
+
+        let dys = partition_backward(
+            &proto, tensors, gemm, policy,
+            PartitionScheme::DySharing, 2, BackwardOrder::Baseline, false,
+        );
+        assert_eq!(dys.reduction.unwrap().class, TensorClass::InGrad);
+
+        let ifm = partition_backward(
+            &proto, tensors, gemm, policy,
+            PartitionScheme::IfmapSharing, 2, BackwardOrder::Baseline, false,
+        );
+        assert!(ifm.reduction.is_none(), "ifmap-sharing needs no reduction");
+    }
+
+    #[test]
+    fn first_layer_dy_sharing_skips_reduction() {
+        let gemm = GemmShape::new(256, 27, 64);
+        let (proto, tensors, policy) = setup(gemm);
+        let p = partition_backward(
+            &proto, tensors, gemm, policy,
+            PartitionScheme::DySharing, 2, BackwardOrder::Interleaved, true,
+        );
+        assert!(p.reduction.is_none());
+    }
+
+    #[test]
+    fn shared_tensor_keeps_parent_identity() {
+        let gemm = GemmShape::new(512, 256, 512);
+        let (proto, tensors, policy) = setup(gemm);
+        // ifmap-sharing shares dY: every partition must read tiles of the
+        // parent dY tensor.
+        let p = partition_backward(
+            &proto, tensors, gemm, policy,
+            PartitionScheme::IfmapSharing, 2, BackwardOrder::Interleaved, false,
+        );
+        for s in &p.schedules {
+            let reads_parent_dy = s.ops().iter().any(|op| {
+                let igo_npu_sim::ScheduleOp::Gemm(g) = op else { return false };
+                g.reads.iter().any(|r| r.key.tensor == tensors.dy)
+            });
+            assert!(reads_parent_dy, "partition must read the shared dY");
+        }
+    }
+
+    #[test]
+    fn split_tensors_get_fresh_ids() {
+        let gemm = GemmShape::new(512, 256, 512);
+        let (proto, tensors, policy) = setup(gemm);
+        // weight-sharing splits dY: no partition may touch the parent dY.
+        let p = partition_backward(
+            &proto, tensors, gemm, policy,
+            PartitionScheme::WeightSharing, 2, BackwardOrder::Interleaved, false,
+        );
+        for s in &p.schedules {
+            let touches_parent_dy = s.ops().iter().any(|op| {
+                let igo_npu_sim::ScheduleOp::Gemm(g) = op else { return false };
+                g.reads.iter().any(|r| r.key.tensor == tensors.dy)
+            });
+            assert!(!touches_parent_dy, "split dY must use fresh ids");
+        }
+    }
+
+    #[test]
+    fn forward_partitions_cover_batch() {
+        let gemm = GemmShape::new(1024, 256, 512);
+        let (proto, tensors, policy) = setup(gemm);
+        let parts = partition_forward(&proto, tensors, gemm, policy, 4);
+        assert_eq!(parts.len(), 4);
+        let macs: u64 = parts.iter().map(|s| s.total_macs()).sum();
+        assert_eq!(macs, gemm.macs());
+    }
+
+    #[test]
+    fn single_partition_degenerates_gracefully() {
+        let gemm = GemmShape::new(64, 64, 64);
+        let (proto, tensors, policy) = setup(gemm);
+        let p = partition_backward(
+            &proto, tensors, gemm, policy,
+            PartitionScheme::WeightSharing, 1, BackwardOrder::Baseline, false,
+        );
+        assert_eq!(p.schedules.len(), 1);
+    }
+}

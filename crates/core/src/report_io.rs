@@ -1,0 +1,117 @@
+//! Report export: CSV writers for model reports.
+//!
+//! Figure-style analyses usually end in a plotting tool; these writers
+//! serialise a [`ModelReport`] (or a technique-ladder comparison) into
+//! machine-readable CSV without adding any dependencies.
+
+use crate::pipeline::ModelReport;
+use igo_tensor::TensorClass;
+use std::fmt::Write as _;
+
+/// Per-layer CSV of one report: one row per distinct layer with cycles
+/// and per-class backward traffic.
+///
+/// Columns: `layer,multiplicity,fwd_cycles,bwd_cycles,order,partition,`
+/// then one `read_<class>` and `write_<class>` pair per tensor class.
+pub fn layers_csv(report: &ModelReport) -> String {
+    let mut out = String::new();
+    out.push_str("layer,multiplicity,fwd_cycles,bwd_cycles,order,partition");
+    for class in TensorClass::ALL {
+        let _ = write!(out, ",read_{0},write_{0}", class.label());
+    }
+    out.push('\n');
+    for layer in &report.layers {
+        let partition = layer
+            .decision
+            .partition
+            .map(|(s, p)| format!("{s} x{p}"))
+            .unwrap_or_else(|| "-".to_owned());
+        let _ = write!(
+            out,
+            "{},{},{},{},{:?},{}",
+            layer.name,
+            layer.multiplicity,
+            layer.forward.cycles,
+            layer.backward.cycles,
+            layer.decision.order,
+            partition
+        );
+        for class in TensorClass::ALL {
+            let _ = write!(
+                out,
+                ",{},{}",
+                layer.backward.traffic.read(class),
+                layer.backward.traffic.write(class)
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Ladder CSV: one row per model with the normalised time of each
+/// non-baseline report against the first (baseline) report.
+///
+/// `reports` groups runs per model: `(baseline, variants)`.
+pub fn ladder_csv(rows: &[(&ModelReport, Vec<&ModelReport>)]) -> String {
+    let mut out = String::new();
+    out.push_str("model,config");
+    if let Some((_, variants)) = rows.first() {
+        for v in variants {
+            let _ = write!(out, ",{}", v.technique.label());
+        }
+    }
+    out.push('\n');
+    for (base, variants) in rows {
+        let _ = write!(out, "{},{}", base.model, base.config);
+        for v in variants {
+            let _ = write!(out, ",{:.6}", v.normalized_to(base));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::simulate_model;
+    use crate::technique::Technique;
+    use igo_npu_sim::NpuConfig;
+    use igo_workloads::{zoo, ModelId};
+
+    fn reports() -> (ModelReport, ModelReport) {
+        let config = NpuConfig::large_single_core();
+        let model = zoo::model(ModelId::Ncf, 8);
+        (
+            simulate_model(&model, &config, Technique::Baseline),
+            simulate_model(&model, &config, Technique::Rearrangement),
+        )
+    }
+
+    #[test]
+    fn layers_csv_has_row_per_layer_plus_header() {
+        let (base, _) = reports();
+        let csv = layers_csv(&base);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), base.layers.len() + 1);
+        assert!(lines[0].starts_with("layer,multiplicity"));
+        assert!(lines[0].contains("read_dY"));
+        // Every data row has the same number of fields as the header.
+        let fields = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), fields, "{line}");
+        }
+    }
+
+    #[test]
+    fn ladder_csv_normalises_against_baseline() {
+        let (base, rearr) = reports();
+        let csv = ladder_csv(&[(&base, vec![&rearr])]);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].ends_with("+Rearrangement"));
+        let value: f64 = lines[1].split(',').nth(2).unwrap().parse().unwrap();
+        assert!((0.1..2.0).contains(&value));
+    }
+}

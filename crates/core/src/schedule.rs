@@ -1,0 +1,675 @@
+//! Backward- and forward-pass schedule builders.
+//!
+//! For a layer whose forward pass is `X(M,K) × W(K,N) → Y(M,N)`, the
+//! backward pass computes (paper Eq. 1/2):
+//!
+//! ```text
+//!   dX(M,K) = dY(M,N) × Wᵀ(N,K)
+//!   dW(K,N) = Xᵀ(K,M) × dY(M,N)
+//! ```
+//!
+//! All matrices are decomposed into square tiles (grid conventions:
+//! `dY[i,j]` with `i` over M-tiles and `j` over N-tiles; `X/dX[i,kk]` with
+//! `kk` over K-tiles; `W/dW[kk,j]`). A tile operation
+//! `dx_op(i,kk,j)` performs `dX[i,kk] += dY[i,j]·Wᵀ[j,kk]`, and
+//! `dw_op(kk,j,i)` performs `dW[kk,j] += Xᵀ[kk,i]·dY[i,j]`.
+//!
+//! [`BackwardBuilder`] emits the paper's schedule families over these ops:
+//!
+//! * [`BackwardBuilder::baseline`] — the two gradient GEMMs run
+//!   *sequentially*, each with its own capacity-blocked loop nest (the
+//!   tiling-optimised baseline of §6.1). `dY` is traversed row-major by the
+//!   `dX` nest and column-major by the `dW` nest, so every `dY` tile is
+//!   fetched (at least) twice.
+//! * [`BackwardBuilder::interleaved`] — §4.2: the two streams interleaved
+//!   tile-by-tile, each keeping its traditional traversal (Figure 10 a).
+//! * [`BackwardBuilder::fused_dx_major`] — §4.3, Figure 10 b: one row-major
+//!   sweep of `dY`; for each `dY` tile, first its `dX` contributions, then
+//!   its `dW` contributions. `dW` accumulator columns are revisited once
+//!   per M-block and spill if `dW` does not fit — the "intermediate
+//!   results" traffic of the paper.
+//! * [`BackwardBuilder::fused_dw_major`] — Figure 10 c, the column-major
+//!   mirror: `dX` accumulator rows become the spill risk.
+//! * [`BackwardBuilder::dw_only`] — the first layer of a model, which needs
+//!   no input gradient (§6.2: interleaving "cannot be applied in the first
+//!   layer since there is no need to compute dX").
+//! * [`BackwardBuilder::baseline_ideal_dy_reuse`] — the Figure 6 potential
+//!   study: the baseline with the `dW` pass's `dY` reads elided, as if the
+//!   tiles were "hypothetically available without any external memory
+//!   access" (§3.3).
+//!
+//! [`forward_schedule`] emits the (technique-independent) forward pass.
+
+use crate::tiling::{Blocking, TilePolicy};
+use igo_npu_sim::{Schedule, TensorId, TileOp};
+use igo_tensor::{GemmShape, TensorClass, TileCoord, TileGrid};
+
+/// Tensor ids of one layer within a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTensors {
+    /// Input feature map `X(M,K)`.
+    pub x: TensorId,
+    /// Weights `W(K,N)`.
+    pub w: TensorId,
+    /// Output feature map `Y(M,N)` (forward only).
+    pub y: TensorId,
+    /// Input gradient `dX(M,K)`.
+    pub dx: TensorId,
+    /// Weight gradient `dW(K,N)`.
+    pub dw: TensorId,
+    /// Output gradient `dY(M,N)` — the shared operand.
+    pub dy: TensorId,
+}
+
+impl LayerTensors {
+    /// Register the six tensors of a layer called `name` in `schedule`.
+    pub fn register(schedule: &mut Schedule, name: &str) -> Self {
+        Self {
+            x: schedule.add_tensor(TensorClass::Ifmap, format!("{name}.X")),
+            w: schedule.add_tensor(TensorClass::Weight, format!("{name}.W")),
+            y: schedule.add_tensor(TensorClass::Ofmap, format!("{name}.Y")),
+            dx: schedule.add_tensor(TensorClass::InGrad, format!("{name}.dX")),
+            dw: schedule.add_tensor(TensorClass::WGrad, format!("{name}.dW")),
+            dy: schedule.add_tensor(TensorClass::OutGrad, format!("{name}.dY")),
+        }
+    }
+}
+
+/// Emits backward-pass schedules for one layer.
+#[derive(Debug, Clone)]
+pub struct BackwardBuilder {
+    gemm: GemmShape,
+    policy: TilePolicy,
+    dy_grid: TileGrid,
+    x_grid: TileGrid,
+    w_grid: TileGrid,
+    tensors: LayerTensors,
+    elide_dw_dy_reads: bool,
+    ifmap_density: f64,
+}
+
+impl BackwardBuilder {
+    /// Builder for a layer with forward shape `gemm`, tiled per `policy`,
+    /// touching the tensors `tensors` (registered in the target schedule).
+    pub fn new(gemm: GemmShape, policy: TilePolicy, tensors: LayerTensors) -> Self {
+        Self {
+            gemm,
+            policy,
+            dy_grid: gemm.dy_grid(policy.tile),
+            x_grid: gemm.dx_grid(policy.tile),
+            w_grid: gemm.dw_grid(policy.tile),
+            tensors,
+            elide_dw_dy_reads: false,
+            ifmap_density: 1.0,
+        }
+    }
+
+    /// Set the raw-layout density of `X`/`dX` DRAM traffic (see
+    /// [`igo_tensor::ConvShape::ifmap_density`]): tiles of the im2col-ed
+    /// input and of the col2im-ed input gradient cost
+    /// `density x im2col bytes` of DRAM traffic, because the tensor stored
+    /// off-chip is the raw feature map and the replication happens while
+    /// staging tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < density <= 1`.
+    #[must_use]
+    pub fn with_ifmap_density(mut self, density: f64) -> Self {
+        assert!(density > 0.0 && density <= 1.0, "density must be in (0,1]");
+        self.ifmap_density = density;
+        self
+    }
+
+    /// Bytes of an `X`/`dX` tile as transferred from DRAM (raw layout).
+    fn x_bytes(&self, bytes: u64) -> u64 {
+        ((bytes as f64 * self.ifmap_density).ceil() as u64).max(4)
+    }
+
+    /// Elide the `dW` pass's `dY` reads (the Figure 6 potential study).
+    #[must_use]
+    pub fn with_elided_dw_dy_reads(mut self) -> Self {
+        self.elide_dw_dy_reads = true;
+        self
+    }
+
+    /// The forward GEMM shape.
+    pub fn gemm(&self) -> GemmShape {
+        self.gemm
+    }
+
+    /// M-tile count.
+    fn mt(&self) -> u64 {
+        self.dy_grid.rows() as u64
+    }
+
+    /// N-tile count.
+    fn nt(&self) -> u64 {
+        self.dy_grid.cols() as u64
+    }
+
+    /// K-tile count.
+    fn kt(&self) -> u64 {
+        self.x_grid.cols() as u64
+    }
+
+    /// Total tile ops in a full backward pass (`2·Mt·Kt·Nt`).
+    pub fn backward_ops(&self) -> u64 {
+        2 * self.mt() * self.kt() * self.nt()
+    }
+
+    /// `dX[i,kk] += dY[i,j] · Wᵀ[j,kk]`.
+    fn dx_op(&self, i: u64, kk: u64, j: u64) -> TileOp {
+        let (i, kk, j) = (i as u32, kk as u32, j as u32);
+        let dy_c = TileCoord::new(i, j);
+        let w_c = TileCoord::new(kk, j);
+        let dx_c = TileCoord::new(i, kk);
+        let dy_d = self.dy_grid.tile_dims(dy_c);
+        let dx_d = self.x_grid.tile_dims(dx_c);
+        TileOp::new(GemmShape::new(dy_d.rows, dy_d.cols, dx_d.cols))
+            .read(self.tensors.dy, dy_c, dy_d.bytes(self.policy.dtype))
+            .read(self.tensors.w, w_c, self.w_grid.tile_bytes(w_c, self.policy.dtype))
+            .accumulate(self.tensors.dx, dx_c, self.x_bytes(dx_d.bytes(self.policy.dtype)))
+    }
+
+    /// `dW[kk,j] += Xᵀ[kk,i] · dY[i,j]`.
+    fn dw_op(&self, kk: u64, j: u64, i: u64) -> TileOp {
+        let (i, kk, j) = (i as u32, kk as u32, j as u32);
+        let dy_c = TileCoord::new(i, j);
+        let x_c = TileCoord::new(i, kk);
+        let dw_c = TileCoord::new(kk, j);
+        let dy_d = self.dy_grid.tile_dims(dy_c);
+        let dw_d = self.w_grid.tile_dims(dw_c);
+        let mut op = TileOp::new(GemmShape::new(dw_d.rows, dy_d.rows, dw_d.cols)).read(
+            self.tensors.x,
+            x_c,
+            self.x_bytes(self.x_grid.tile_bytes(x_c, self.policy.dtype)),
+        );
+        if !self.elide_dw_dy_reads {
+            op = op.read(self.tensors.dy, dy_c, dy_d.bytes(self.policy.dtype));
+        }
+        op.accumulate(self.tensors.dw, dw_c, dw_d.bytes(self.policy.dtype))
+    }
+
+    /// The blocked `dX` nest (row-major `dY` traversal), planned for a
+    /// residency budget of `capacity` tiles, grouped per super-block (each
+    /// inner `Vec` is one complete block: its accumulators retire at the
+    /// group boundary).
+    fn dx_blocks(&self, capacity: u64) -> Vec<Vec<TileOp>> {
+        let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
+        let blocking = Blocking::choose(mt, kt, nt, capacity);
+        let mut blocks = Vec::new();
+        for (i0, k0) in blocking.blocks(mt, kt) {
+            let mut ops = Vec::new();
+            for j in 0..nt {
+                for i in i0..(i0 + blocking.b_rows).min(mt) {
+                    for kk in k0..(k0 + blocking.b_cols).min(kt) {
+                        ops.push(self.dx_op(i, kk, j));
+                    }
+                }
+            }
+            blocks.push(ops);
+        }
+        blocks
+    }
+
+    /// The blocked `dX` nest as a flat op list.
+    fn dx_stream(&self, capacity: u64) -> Vec<TileOp> {
+        self.dx_blocks(capacity).into_iter().flatten().collect()
+    }
+
+    /// The blocked `dW` nest (column-major `dY` traversal), grouped per
+    /// super-block.
+    fn dw_blocks(&self, capacity: u64) -> Vec<Vec<TileOp>> {
+        let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
+        let blocking = Blocking::choose(kt, nt, mt, capacity);
+        let mut blocks = Vec::new();
+        for (k0, j0) in blocking.blocks(kt, nt) {
+            let mut ops = Vec::new();
+            for i in 0..mt {
+                for kk in k0..(k0 + blocking.b_rows).min(kt) {
+                    for j in j0..(j0 + blocking.b_cols).min(nt) {
+                        ops.push(self.dw_op(kk, j, i));
+                    }
+                }
+            }
+            blocks.push(ops);
+        }
+        blocks
+    }
+
+    /// The blocked `dW` nest as a flat op list.
+    fn dw_stream(&self, capacity: u64) -> Vec<TileOp> {
+        self.dw_blocks(capacity).into_iter().flatten().collect()
+    }
+
+    /// Baseline (§6.1): the `dX` kernel fully, a kernel boundary, then the
+    /// `dW` kernel — two sequentially launched operations, XLA-style, each
+    /// planning its blocking for the whole residency. The barrier is what
+    /// makes the baseline fetch `dY` twice: data staged by the first
+    /// kernel is gone when the second starts.
+    pub fn baseline(&self, schedule: &mut Schedule) {
+        for op in self.dx_stream(self.policy.capacity_tiles) {
+            schedule.push_gemm(op);
+        }
+        schedule.push_barrier();
+        for op in self.dw_stream(self.policy.capacity_tiles) {
+            schedule.push_gemm(op);
+        }
+    }
+
+    /// The Figure 6 potential study: baseline order, `dW`'s `dY` reads
+    /// elided.
+    pub fn baseline_ideal_dy_reuse(&self, schedule: &mut Schedule) {
+        let ideal = self.clone().with_elided_dw_dy_reads();
+        ideal.baseline(schedule);
+    }
+
+    /// Interleaving only (§4.2, Figure 10 a): the two traditional streams
+    /// fused into one kernel and interleaved chunk-by-chunk, each keeping
+    /// its own traversal order.
+    ///
+    /// Interleaving happens at the granularity the double-buffered SPM
+    /// supports — one blocked super-step of tile operations at a time —
+    /// so the two streams' instantaneous working sets barely overlap and
+    /// each keeps its full blocking efficiency. The benefit over the
+    /// baseline is precisely the removed kernel barrier: `dY` tiles staged
+    /// by the `dX` stream are still in SPM when the `dW` stream arrives,
+    /// whenever capacity allows — limited, as the paper observes, because
+    /// "the required dY tiles differ between computing dX and dW".
+    pub fn interleaved(&self, schedule: &mut Schedule) {
+        let cap = self.policy.capacity_tiles;
+        // One super-step = one complete super-block of each stream's nest:
+        // the working set retires exactly at block boundaries, so the two
+        // streams barely interfere.
+        let mut dx = self.dx_blocks(cap).into_iter();
+        let mut dw = self.dw_blocks(cap).into_iter();
+        loop {
+            let mut emitted = 0;
+            if let Some(block) = dx.next() {
+                emitted += block.len();
+                for op in block {
+                    schedule.push_gemm(op);
+                }
+            }
+            if let Some(block) = dw.next() {
+                emitted += block.len();
+                for op in block {
+                    schedule.push_gemm(op);
+                }
+            }
+            if emitted == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Block factors for the fused sweeps: a K-chunk of `kb` tiles and a
+    /// sweep block of `b` dY tile-rows (dXmajor) or tile-columns
+    /// (dWmajor). The instantaneous working set is
+    /// `2·b·kb` (per-row dX + X slices) plus `2·kb` (W + dW column
+    /// slices) plus the current dY tile; when the whole K extent does not
+    /// fit, K is chunked and `dY` is re-swept once per chunk — the
+    /// reduced-but-real reuse the paper's "added memory traffic" caveat
+    /// describes.
+    ///
+    /// The pair is chosen by an analytic traffic model — exactly the kind
+    /// of cost model the compiler pass hosting this transformation would
+    /// evaluate: shrinking `kb` buys a wider sweep block (fewer re-reads of
+    /// the non-dY operand and fewer partial-sum spills) at the price of
+    /// more `dY` sweeps, which is free whenever `dY` itself is resident.
+    fn fused_blocks(&self, dx_major: bool) -> (u64, u64) {
+        let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
+        let cap = self.policy.capacity_tiles;
+        let dy_tiles = mt * nt;
+        let x_tiles = mt * kt;
+        let w_tiles = kt * nt;
+        let sweep = if dx_major { mt } else { nt };
+        // dXmajor holds dW columns hot per sweep block and re-reads W per
+        // block; dWmajor is the mirror.
+        let (stationary_tiles, spill_tiles) = if dx_major {
+            (w_tiles, w_tiles) // re-read W per block; spill dW (same shape)
+        } else {
+            (x_tiles, x_tiles) // re-read X per block; spill dX (same shape)
+        };
+
+        let kb_max = (cap.saturating_sub(1) / 4).max(1).min(kt);
+        let mut best = (1u64, 1u64);
+        let mut best_cost = u128::MAX;
+        for kb in 1..=kb_max {
+            let b = (cap.saturating_sub(2 * kb + 1) / (2 * kb)).max(1).min(sweep);
+            let chunks = kt.div_ceil(kb);
+            let blocks = sweep.div_ceil(b);
+            let dy_reads = if dy_tiles + 4 * kb <= cap { 1 } else { chunks };
+            let stationary_reads = if stationary_tiles <= cap / 2 { 1 } else { blocks };
+            let spill = if spill_tiles <= cap / 2 {
+                0
+            } else {
+                2 * (blocks - 1) as u128 * spill_tiles as u128
+            };
+            let cost = dy_reads as u128 * dy_tiles as u128
+                + stationary_reads as u128 * stationary_tiles as u128
+                + spill;
+            if cost < best_cost || (cost == best_cost && kb > best.0) {
+                best_cost = cost;
+                best = (kb, b);
+            }
+        }
+        best
+    }
+
+    /// Interleaving + dXmajor (§4.3, Figure 10 b): a row-major sweep of
+    /// `dY`; both gradients consume each tile back-to-back.
+    pub fn fused_dx_major(&self, schedule: &mut Schedule) {
+        let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
+        let (kb, bi) = self.fused_blocks(true);
+        let mut k0 = 0;
+        while k0 < kt {
+            let k_end = (k0 + kb).min(kt);
+            let mut i0 = 0;
+            while i0 < mt {
+                let i_end = (i0 + bi).min(mt);
+                for j in 0..nt {
+                    for i in i0..i_end {
+                        for kk in k0..k_end {
+                            schedule.push_gemm(self.dx_op(i, kk, j));
+                        }
+                        for kk in k0..k_end {
+                            schedule.push_gemm(self.dw_op(kk, j, i));
+                        }
+                    }
+                }
+                i0 = i_end;
+            }
+            k0 = k_end;
+        }
+    }
+
+    /// Interleaving + dWmajor (§4.3, Figure 10 c): a column-major sweep
+    /// of `dY`.
+    pub fn fused_dw_major(&self, schedule: &mut Schedule) {
+        let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
+        let (kb, bj) = self.fused_blocks(false);
+        let mut k0 = 0;
+        while k0 < kt {
+            let k_end = (k0 + kb).min(kt);
+            let mut j0 = 0;
+            while j0 < nt {
+                let j_end = (j0 + bj).min(nt);
+                for i in 0..mt {
+                    for j in j0..j_end {
+                        for kk in k0..k_end {
+                            schedule.push_gemm(self.dw_op(kk, j, i));
+                        }
+                        for kk in k0..k_end {
+                            schedule.push_gemm(self.dx_op(i, kk, j));
+                        }
+                    }
+                }
+                j0 = j_end;
+            }
+            k0 = k_end;
+        }
+    }
+
+    /// First-layer backward: the `dW` pass only.
+    pub fn dw_only(&self, schedule: &mut Schedule) {
+        for op in self.dw_stream(self.policy.capacity_tiles) {
+            schedule.push_gemm(op);
+        }
+    }
+}
+
+/// The concrete backward emission orders (the union of the baseline modes
+/// and the three Figure-10 interleaved orders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackwardOrder {
+    /// Sequential dX then dW.
+    Baseline,
+    /// Sequential with elided second `dY` reads (Figure 6 study).
+    IdealDyReuse,
+    /// Interleaved, traditional traversals (Figure 10 a).
+    Interleaved,
+    /// Fused row-major sweep (Figure 10 b).
+    DxMajor,
+    /// Fused column-major sweep (Figure 10 c).
+    DwMajor,
+}
+
+impl From<igo_tensor::TraversalOrder> for BackwardOrder {
+    fn from(order: igo_tensor::TraversalOrder) -> Self {
+        match order {
+            igo_tensor::TraversalOrder::Traditional => BackwardOrder::Interleaved,
+            igo_tensor::TraversalOrder::DxMajor => BackwardOrder::DxMajor,
+            igo_tensor::TraversalOrder::DwMajor => BackwardOrder::DwMajor,
+        }
+    }
+}
+
+impl BackwardBuilder {
+    /// Emit the backward pass in the given order. A first layer always
+    /// degenerates to the `dW`-only pass: with no `dX` to compute there is
+    /// nothing to interleave.
+    pub fn emit(&self, order: BackwardOrder, is_first: bool, schedule: &mut Schedule) {
+        if is_first {
+            self.dw_only(schedule);
+            return;
+        }
+        match order {
+            BackwardOrder::Baseline => self.baseline(schedule),
+            BackwardOrder::IdealDyReuse => self.baseline_ideal_dy_reuse(schedule),
+            BackwardOrder::Interleaved => self.interleaved(schedule),
+            BackwardOrder::DxMajor => self.fused_dx_major(schedule),
+            BackwardOrder::DwMajor => self.fused_dw_major(schedule),
+        }
+    }
+}
+
+/// Emit the forward pass `Y = X × W` with a capacity-blocked nest.
+pub fn forward_schedule(
+    gemm: GemmShape,
+    policy: TilePolicy,
+    tensors: LayerTensors,
+    ifmap_density: f64,
+    schedule: &mut Schedule,
+) {
+    assert!(
+        ifmap_density > 0.0 && ifmap_density <= 1.0,
+        "density must be in (0,1]"
+    );
+    let y_grid = gemm.dy_grid(policy.tile);
+    let x_grid = gemm.dx_grid(policy.tile);
+    let w_grid = gemm.dw_grid(policy.tile);
+    let (mt, nt, kt) = (y_grid.rows() as u64, y_grid.cols() as u64, x_grid.cols() as u64);
+    let blocking = Blocking::choose(mt, nt, kt, policy.capacity_tiles);
+    for (i0, j0) in blocking.blocks(mt, nt) {
+        for kk in 0..kt {
+            for i in i0..(i0 + blocking.b_rows).min(mt) {
+                for j in j0..(j0 + blocking.b_cols).min(nt) {
+                    let (iu, ju, ku) = (i as u32, j as u32, kk as u32);
+                    let y_c = TileCoord::new(iu, ju);
+                    let x_c = TileCoord::new(iu, ku);
+                    let w_c = TileCoord::new(ku, ju);
+                    let y_d = y_grid.tile_dims(y_c);
+                    let x_d = x_grid.tile_dims(x_c);
+                    let x_bytes =
+                        ((x_d.bytes(policy.dtype) as f64 * ifmap_density).ceil() as u64).max(4);
+                    schedule.push_gemm(
+                        TileOp::new(GemmShape::new(y_d.rows, x_d.cols, y_d.cols))
+                            .read(tensors.x, x_c, x_bytes)
+                            .read(tensors.w, w_c, w_grid.tile_bytes(w_c, policy.dtype))
+                            .accumulate(tensors.y, y_c, y_d.bytes(policy.dtype)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igo_npu_sim::NpuConfig;
+
+    fn setup(gemm: GemmShape) -> (Schedule, BackwardBuilder) {
+        let mut s = Schedule::new("test");
+        let tensors = LayerTensors::register(&mut s, "l1");
+        let policy = TilePolicy::for_config(&NpuConfig::large_single_core());
+        (s, BackwardBuilder::new(gemm, policy, tensors))
+    }
+
+    fn macs_of(s: &Schedule) -> u64 {
+        s.total_macs()
+    }
+
+    #[test]
+    fn all_backward_schedules_perform_identical_macs() {
+        let gemm = GemmShape::new(500, 300, 700);
+        let expected = gemm.backward_macs();
+        let (proto, b) = setup(gemm);
+        let mut variants: Vec<(&str, Schedule)> = Vec::new();
+        for name in ["baseline", "interleaved", "dxmajor", "dwmajor"] {
+            variants.push((name, proto.fork(name)));
+        }
+        b.baseline(&mut variants[0].1);
+        b.interleaved(&mut variants[1].1);
+        b.fused_dx_major(&mut variants[2].1);
+        b.fused_dw_major(&mut variants[3].1);
+        for (name, s) in &variants {
+            assert_eq!(macs_of(s), expected, "{name} must not change the math");
+        }
+    }
+
+    #[test]
+    fn schedules_have_equal_op_counts() {
+        let gemm = GemmShape::new(257, 129, 130);
+        let (proto, b) = setup(gemm);
+        let mut base = proto.fork("base");
+        b.baseline(&mut base);
+        let mut inter = proto.fork("inter");
+        b.interleaved(&mut inter);
+        let mut dxm = proto.fork("dxm");
+        b.fused_dx_major(&mut dxm);
+        // The baseline carries one extra op: the kernel barrier between
+        // its two sequential GEMMs. Fused schedules have none.
+        assert_eq!(base.len(), inter.len() + 1);
+        assert_eq!(inter.len(), dxm.len());
+        assert_eq!(inter.len() as u64, b.backward_ops());
+    }
+
+    #[test]
+    fn interleaved_alternates_streams() {
+        let gemm = GemmShape::new(4096, 1024, 1024);
+        let (proto, b) = setup(gemm);
+        let mut s = proto.fork("i");
+        b.interleaved(&mut s);
+        // The fused stream alternates super-blocks of the two gradient
+        // computations: both accumulator classes appear, the stream
+        // switches between them multiple times, and the very first dW op
+        // arrives long before the baseline's midpoint barrier would.
+        let classes: Vec<TensorClass> = s
+            .ops()
+            .iter()
+            .map(|op| {
+                let igo_npu_sim::ScheduleOp::Gemm(g) = op else {
+                    panic!("no stream ops expected")
+                };
+                s.class_of(g.acc.expect("every op accumulates").key.tensor)
+            })
+            .collect();
+        let switches = classes.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(switches >= 4, "expected block alternation, got {switches} switches");
+        let first_dw = classes
+            .iter()
+            .position(|&c| c == TensorClass::WGrad)
+            .expect("dW ops present");
+        assert!(
+            first_dw < classes.len() / 4,
+            "dW work must start early, got position {first_dw} of {}",
+            classes.len()
+        );
+    }
+
+    #[test]
+    fn dx_major_consumes_each_dy_tile_contiguously() {
+        let gemm = GemmShape::new(384, 256, 384);
+        let (proto, b) = setup(gemm);
+        let mut s = proto.fork("dxm");
+        b.fused_dx_major(&mut s);
+        // Collect the sequence of dY coords actually read; each distinct
+        // coordinate must appear as one contiguous run (within one M-block
+        // pass, which here covers all of M).
+        let mut runs = Vec::new();
+        let mut last = None;
+        for op in s.ops() {
+            let igo_npu_sim::ScheduleOp::Gemm(g) = op else { continue };
+            for r in &g.reads {
+                if s.class_of(r.key.tensor) == TensorClass::OutGrad
+                    && last != Some(r.key.coord) {
+                        runs.push(r.key.coord);
+                        last = Some(r.key.coord);
+                    }
+            }
+        }
+        let distinct: std::collections::HashSet<_> = runs.iter().collect();
+        assert_eq!(
+            runs.len(),
+            distinct.len(),
+            "each dY tile must be one contiguous run"
+        );
+    }
+
+    #[test]
+    fn ideal_reuse_elides_second_dy_read() {
+        let gemm = GemmShape::new(256, 256, 256);
+        let (proto, b) = setup(gemm);
+        let mut base = proto.fork("b");
+        b.baseline(&mut base);
+        let mut ideal = proto.fork("i");
+        b.baseline_ideal_dy_reuse(&mut ideal);
+        assert!(ideal.named_read_bytes() < base.named_read_bytes());
+        assert_eq!(macs_of(&ideal), macs_of(&base), "compute unchanged");
+    }
+
+    #[test]
+    fn dw_only_skips_input_gradient() {
+        let gemm = GemmShape::new(256, 128, 128);
+        let (proto, b) = setup(gemm);
+        let mut s = proto.fork("first");
+        b.dw_only(&mut s);
+        for op in s.ops() {
+            let igo_npu_sim::ScheduleOp::Gemm(g) = op else { continue };
+            let acc = g.acc.unwrap().key.tensor;
+            assert_eq!(s.class_of(acc), TensorClass::WGrad);
+        }
+        assert_eq!(macs_of(&s), gemm.macs());
+    }
+
+    #[test]
+    fn forward_schedule_covers_output_once() {
+        let gemm = GemmShape::new(300, 200, 100);
+        let mut s = Schedule::new("fwd");
+        let tensors = LayerTensors::register(&mut s, "l1");
+        let policy = TilePolicy::for_config(&NpuConfig::large_single_core());
+        forward_schedule(gemm, policy, tensors, 1.0, &mut s);
+        assert_eq!(s.total_macs(), gemm.macs());
+        // Every op accumulates into Y.
+        let mut y_tiles = std::collections::HashSet::new();
+        for op in s.ops() {
+            let igo_npu_sim::ScheduleOp::Gemm(g) = op else { continue };
+            y_tiles.insert(g.acc.unwrap().key.coord);
+        }
+        let grid = gemm.dy_grid(policy.tile);
+        assert_eq!(y_tiles.len() as u64, grid.num_tiles());
+    }
+
+    #[test]
+    fn ragged_edges_preserve_mac_totals() {
+        // Dimensions deliberately not multiples of the 128 tile.
+        let gemm = GemmShape::new(129, 257, 383);
+        let (proto, b) = setup(gemm);
+        let mut s = proto.fork("ragged");
+        b.baseline(&mut s);
+        assert_eq!(macs_of(&s), gemm.backward_macs());
+    }
+}

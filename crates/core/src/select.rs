@@ -1,0 +1,107 @@
+//! Algorithm 1: static selection of the interleaved tile-access order.
+//!
+//! The paper's selection algorithm (§4.3) chooses among the three Figure-10
+//! orders from the *forward* GEMM dimensions alone, so it runs in constant
+//! time per layer and can be applied fully statically:
+//!
+//! ```text
+//! if AlmostSquareComputation():        use Interleaving
+//! else if K > N and K > M:             use Interleaving+dWmajor
+//! else:                                use Interleaving+dXmajor
+//! ```
+//!
+//! `AlmostSquareComputation()` is true when all five tensor shapes are
+//! nearly square, which reduces to `max(M,N,K) / min(M,N,K) < 4`.
+
+use igo_tensor::{GemmShape, TraversalOrder};
+
+/// The paper's near-square threshold: "the largest dimension is less than
+/// four times the smallest dimension".
+pub const ALMOST_SQUARE_THRESHOLD: f64 = 4.0;
+
+/// Algorithm 1: pick the tile-access order for a layer with forward shape
+/// `gemm`.
+///
+/// ```
+/// use igo_core::select::select_order;
+/// use igo_tensor::{GemmShape, TraversalOrder};
+///
+/// // Square-ish: plain interleaving.
+/// assert_eq!(
+///     select_order(GemmShape::new(512, 512, 512)),
+///     TraversalOrder::Traditional
+/// );
+/// // Reduction-dominated (K largest): dWmajor.
+/// assert_eq!(
+///     select_order(GemmShape::new(64, 4096, 512)),
+///     TraversalOrder::DwMajor
+/// );
+/// // Otherwise: dXmajor.
+/// assert_eq!(
+///     select_order(GemmShape::new(4096, 64, 512)),
+///     TraversalOrder::DxMajor
+/// );
+/// ```
+pub fn select_order(gemm: GemmShape) -> TraversalOrder {
+    if gemm.is_almost_square(ALMOST_SQUARE_THRESHOLD) {
+        TraversalOrder::Traditional
+    } else if gemm.k() > gemm.n() && gemm.k() > gemm.m() {
+        TraversalOrder::DwMajor
+    } else {
+        TraversalOrder::DxMajor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_uses_plain_interleaving() {
+        assert_eq!(
+            select_order(GemmShape::new(100, 100, 100)),
+            TraversalOrder::Traditional
+        );
+        // Ratio just below 4 still counts as square.
+        assert_eq!(
+            select_order(GemmShape::new(100, 399, 399)),
+            TraversalOrder::Traditional
+        );
+    }
+
+    #[test]
+    fn k_dominant_uses_dw_major() {
+        assert_eq!(
+            select_order(GemmShape::new(8, 2048, 512)),
+            TraversalOrder::DwMajor
+        );
+        // Conv layers after im2col often have K = C*KH*KW dominant.
+        assert_eq!(
+            select_order(GemmShape::new(392, 4608, 512)),
+            TraversalOrder::DwMajor
+        );
+    }
+
+    #[test]
+    fn otherwise_dx_major() {
+        // Shallow conv: huge M, small K and N.
+        assert_eq!(
+            select_order(GemmShape::new(100_352, 147, 64)),
+            TraversalOrder::DxMajor
+        );
+        // N-dominant FC.
+        assert_eq!(
+            select_order(GemmShape::new(8, 1024, 32_000)),
+            TraversalOrder::DxMajor
+        );
+    }
+
+    #[test]
+    fn k_must_strictly_dominate_both() {
+        // K == M: not strictly greater, falls to dXmajor.
+        assert_eq!(
+            select_order(GemmShape::new(2048, 2048, 8)),
+            TraversalOrder::DxMajor
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! The technique ladder of the evaluation.
+//!
+//! Figure 12 reports *cumulative* results: `Interleaving`, then
+//! `+Rearrangement` (interleaving + Algorithm 1 order selection), then
+//! `+DataPartitioning`. The extra variants cover the paper's side studies:
+//! the Figure 6 ideal-reuse potential and the §4.3 per-layer oracle.
+
+use serde::{Deserialize, Serialize};
+
+/// A complete scheduling policy for a training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// Sequential dX-then-dW gradient computation with blocked tiling — the
+    /// TPU-with-XLA-style baseline of §6.1.
+    Baseline,
+    /// The Figure 6 potential study: baseline order, but the second set of
+    /// `dY` reads is elided as if `dY` stayed resident for free.
+    IdealDyReuse,
+    /// §4.2: interleave the two gradient streams tile-by-tile, keeping the
+    /// traditional per-stream traversals.
+    Interleaving,
+    /// §4.3: interleaving plus Algorithm 1's tile-access-order selection
+    /// (dXmajor / dWmajor / plain).
+    Rearrangement,
+    /// §4.3's upper bound: per layer, actually run all three orders and
+    /// keep the fastest ("the ideal performance improvement").
+    RearrangementOracle,
+    /// §5: rearrangement plus per-layer data-partitioning selection
+    /// (oracle over the candidate schemes; the KNN-predicted variant is
+    /// exercised by [`crate::partition_select`]).
+    DataPartitioning,
+}
+
+impl Technique {
+    /// The cumulative Figure 12 ladder, in order.
+    pub const LADDER: [Technique; 4] = [
+        Technique::Baseline,
+        Technique::Interleaving,
+        Technique::Rearrangement,
+        Technique::DataPartitioning,
+    ];
+
+    /// Whether this technique interleaves the two gradient computations.
+    pub fn interleaves(self) -> bool {
+        !matches!(self, Technique::Baseline | Technique::IdealDyReuse)
+    }
+
+    /// Whether this technique applies per-layer data partitioning.
+    pub fn partitions(self) -> bool {
+        matches!(self, Technique::DataPartitioning)
+    }
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Baseline => "Baseline",
+            Technique::IdealDyReuse => "IdealDyReuse",
+            Technique::Interleaving => "Interleaving",
+            Technique::Rearrangement => "+Rearrangement",
+            Technique::RearrangementOracle => "+Rearrangement(oracle)",
+            Technique::DataPartitioning => "+DataPartitioning",
+        }
+    }
+}
+
+impl core::fmt::Display for Technique {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_starts_at_baseline_and_ends_at_partitioning() {
+        assert_eq!(Technique::LADDER[0], Technique::Baseline);
+        assert_eq!(*Technique::LADDER.last().unwrap(), Technique::DataPartitioning);
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(!Technique::Baseline.interleaves());
+        assert!(!Technique::IdealDyReuse.interleaves());
+        assert!(Technique::Interleaving.interleaves());
+        assert!(Technique::Rearrangement.interleaves());
+        assert!(Technique::DataPartitioning.partitions());
+        assert!(!Technique::Rearrangement.partitions());
+    }
+
+    #[test]
+    fn labels_unique() {
+        use std::collections::HashSet;
+        let all = [
+            Technique::Baseline,
+            Technique::IdealDyReuse,
+            Technique::Interleaving,
+            Technique::Rearrangement,
+            Technique::RearrangementOracle,
+            Technique::DataPartitioning,
+        ];
+        let labels: HashSet<_> = all.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+}

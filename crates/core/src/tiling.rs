@@ -1,0 +1,179 @@
+//! Tile-size and loop-blocking policy.
+//!
+//! Every schedule in this crate is built from square `T×T` tiles with `T`
+//! equal to the systolic-array side — one tile is one weight-fold of the
+//! array, the natural staging granularity of SCALE-Sim-class NPUs. On top
+//! of tiles, loop nests are *blocked*: super-blocks of tiles are sized so
+//! their working set fits the SPM residency, which is the "tiling
+//! strategies proposed in the earlier studies" that the paper folds into
+//! its baseline (§6.1). The [`Blocking`] helpers pick those block factors.
+
+use igo_npu_sim::NpuConfig;
+use igo_tensor::{DataType, TileShape};
+
+/// Tiling policy derived from an NPU configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TilePolicy {
+    /// Square tile side (= systolic array rows).
+    pub tile: TileShape,
+    /// Element type.
+    pub dtype: DataType,
+    /// SPM residency capacity, in *full tiles*.
+    pub capacity_tiles: u64,
+}
+
+impl TilePolicy {
+    /// Policy for one core of `config`: `T = PE rows`, fp32, residency of
+    /// half the per-core SPM (the double-buffer convention of
+    /// [`NpuConfig::residency_bytes_per_core`]).
+    pub fn for_config(config: &NpuConfig) -> Self {
+        let side = config.pe.rows as u64;
+        let tile = TileShape::square(side);
+        let tile_bytes = tile.bytes(DataType::F32);
+        Self {
+            tile,
+            dtype: DataType::F32,
+            capacity_tiles: (config.residency_bytes_per_core() / tile_bytes).max(4),
+        }
+    }
+
+    /// Bytes of one full tile.
+    pub fn tile_bytes(&self) -> u64 {
+        self.tile.bytes(self.dtype)
+    }
+}
+
+/// Block factors for a 2-D blocked GEMM loop nest.
+///
+/// For an output of `rows × cols` *tiles* with a reduction depth of `red`
+/// tiles, the nest processes super-blocks of `b_rows × b_cols` output tiles:
+/// within a block, each reduction slice's operand tiles are loaded once; an
+/// operand is re-read once per block along the orthogonal output dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocking {
+    /// Output-block height in tiles.
+    pub b_rows: u64,
+    /// Output-block width in tiles.
+    pub b_cols: u64,
+}
+
+impl Blocking {
+    /// Choose block factors for a blocked GEMM with `rows × cols` output
+    /// tiles and reduction depth `red` (all in tiles), on a residency of
+    /// `capacity` tiles.
+    ///
+    /// The working set of one block step is
+    /// `b_rows·b_cols` accumulators + `b_rows` left-operand tiles +
+    /// `b_cols` right-operand tiles (one reduction slice). Traffic is
+    /// `⌈cols/b_cols⌉·|left| + ⌈rows/b_rows⌉·|right|`; the chooser searches
+    /// the feasible set for the minimum, preferring to make the *smaller*
+    /// re-read factor hit 1 (read-once) when possible.
+    pub fn choose(rows: u64, cols: u64, red: u64, capacity: u64) -> Self {
+        Self::choose_with_cost(rows, cols, red, capacity).0
+    }
+
+    /// Like [`Blocking::choose`] but also returns the estimated traffic of
+    /// the chosen blocking, in tiles (used by planners that weigh
+    /// alternative capacity splits against each other).
+    pub fn choose_with_cost(rows: u64, cols: u64, red: u64, capacity: u64) -> (Self, u64) {
+        debug_assert!(rows > 0 && cols > 0 && red > 0);
+        let cap = capacity.max(4);
+        let mut best = Blocking {
+            b_rows: 1,
+            b_cols: 1,
+        };
+        let mut best_cost = u64::MAX;
+        // Left operand is rows x red tiles, right is red x cols tiles.
+        let left_tiles = rows * red;
+        let right_tiles = red * cols;
+        let mut b_rows = 1;
+        while b_rows <= rows {
+            // Working set: b_rows*b_cols + b_rows + b_cols <= cap, so even
+            // b_cols = 1 needs 2*b_rows + 1 <= cap.
+            if 2 * b_rows + 1 > cap {
+                break;
+            }
+            let max_cols = ((cap - b_rows) / (b_rows + 1)).min(cols);
+            for b_cols in [1, max_cols / 2, max_cols] {
+                let b_cols = b_cols.clamp(1, max_cols);
+                let cost =
+                    cols.div_ceil(b_cols) * left_tiles + rows.div_ceil(b_rows) * right_tiles;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = Blocking { b_rows, b_cols };
+                }
+            }
+            b_rows = (b_rows * 2).min(b_rows + cap); // geometric sweep
+        }
+        (best, best_cost)
+    }
+
+    /// Iterate block origins `(row0, col0)` in row-major block order.
+    pub fn blocks(&self, rows: u64, cols: u64) -> impl Iterator<Item = (u64, u64)> {
+        let (br, bc) = (self.b_rows, self.b_cols);
+        (0..rows.div_ceil(br)).flat_map(move |r| (0..cols.div_ceil(bc)).map(move |c| (r * br, c * bc)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_matches_table3_shapes() {
+        let small = TilePolicy::for_config(&NpuConfig::small_edge());
+        assert_eq!(small.tile, TileShape::square(45));
+        // 512 KiB residency / 8100-byte tiles = 64 tiles.
+        assert_eq!(small.capacity_tiles, 64);
+
+        let large = TilePolicy::for_config(&NpuConfig::large_single_core());
+        assert_eq!(large.tile, TileShape::square(128));
+        // 4 MiB residency / 64 KiB tiles = 64 tiles.
+        assert_eq!(large.capacity_tiles, 64);
+    }
+
+    #[test]
+    fn blocking_fits_capacity() {
+        for (rows, cols, red, cap) in
+            [(32, 32, 8, 64), (196, 5, 1, 64), (6400, 1, 1, 64), (8, 256, 4, 16)]
+        {
+            let b = Blocking::choose(rows, cols, red, cap);
+            assert!(
+                b.b_rows * b.b_cols + b.b_rows + b.b_cols <= cap,
+                "({rows},{cols},{red}) cap {cap}: {b:?}"
+            );
+            assert!(b.b_rows >= 1 && b.b_cols >= 1);
+        }
+    }
+
+    #[test]
+    fn small_reduction_gets_read_once_cols() {
+        // Conv-like: 196 output rows, 5 cols, plenty of capacity: the whole
+        // column dimension should be one block so the left operand is read
+        // once.
+        let b = Blocking::choose(196, 5, 1, 64);
+        assert_eq!(b.b_cols, 5, "{b:?}");
+    }
+
+    #[test]
+    fn blocks_cover_output() {
+        let b = Blocking {
+            b_rows: 3,
+            b_cols: 4,
+        };
+        let origins: Vec<_> = b.blocks(7, 9).collect();
+        assert_eq!(origins.len(), 3 * 3);
+        assert_eq!(origins[0], (0, 0));
+        assert_eq!(*origins.last().unwrap(), (6, 8));
+    }
+
+    #[test]
+    fn tiny_capacity_degrades_to_unit_blocks() {
+        let b = Blocking::choose(100, 100, 10, 4);
+        assert_eq!(
+            (b.b_rows, b.b_cols),
+            (1, 1),
+            "capacity 4 leaves room for nothing bigger"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Figure 3: training-step time decomposition on an A100-class GPU.
+//!
+//! The paper motivates its work by profiling PyTorch training on an A100
+//! (batch 256, 90 epochs) and reporting the average step decomposition:
+//! forward 27.6%, backward 56.5%, memcopy 3.0%, loss 2.6%, update 10.3%.
+//! We reproduce the decomposition with a roofline cost model: each phase
+//! is the max of its compute time (at an effective FLOP rate) and its
+//! memory time (at effective HBM / PCIe bandwidth).
+
+use igo_workloads::Model;
+use serde::{Deserialize, Serialize};
+
+/// GPU parameters for the roofline model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Peak sustained MAC rate (multiply-accumulates per second) for GEMM
+    /// kernels.
+    pub macs_per_sec: f64,
+    /// Sustained HBM bandwidth, bytes per second.
+    pub hbm_bytes_per_sec: f64,
+    /// Host-to-device (PCIe) bandwidth, bytes per second.
+    pub pcie_bytes_per_sec: f64,
+    /// Fixed per-kernel launch overhead in seconds.
+    pub kernel_launch_sec: f64,
+    /// Host/device synchronisation cost charged to the loss phase
+    /// (PyTorch's `loss.item()`).
+    pub host_sync_sec: f64,
+}
+
+impl GpuConfig {
+    /// An NVIDIA A100-class configuration: ~120 TMAC/s effective mixed-
+    /// precision GEMM throughput (156 TFLOPS TF32 peak with realistic
+    /// utilisation), 1.4 TB/s effective HBM2e, PCIe 4.0 x16.
+    pub fn a100() -> Self {
+        Self {
+            macs_per_sec: 60.0e12,
+            hbm_bytes_per_sec: 1.4e12,
+            pcie_bytes_per_sec: 24.0e9,
+            kernel_launch_sec: 6.0e-6,
+            host_sync_sec: 150.0e-6,
+        }
+    }
+
+    /// An RTX-3090-class configuration. The Figure 17 kernels are the
+    /// educational SMEM-blocked fp32 GEMM (Boehm's worklog) rather than
+    /// cuBLAS, and the evaluation shapes are small edge-batch layers, so
+    /// the achieved MAC rate is well below the 17.8 TMAC/s fp32 peak.
+    pub fn rtx3090() -> Self {
+        Self {
+            macs_per_sec: 16.0e12,
+            hbm_bytes_per_sec: 0.80e12,
+            pcie_bytes_per_sec: 24.0e9,
+            kernel_launch_sec: 5.0e-6,
+            host_sync_sec: 150.0e-6,
+        }
+    }
+
+    fn roofline_sec(&self, macs: f64, bytes: f64) -> f64 {
+        (macs / self.macs_per_sec).max(bytes / self.hbm_bytes_per_sec)
+    }
+}
+
+/// Seconds spent in each phase of one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StepBreakdown {
+    /// Forward pass.
+    pub forward: f64,
+    /// Backward pass (input + weight gradients, activation backward).
+    pub backward: f64,
+    /// Host-to-device input transfer.
+    pub memcopy: f64,
+    /// Loss computation (softmax + reduction over the logits).
+    pub loss: f64,
+    /// Optimiser update (Adam-style: params + grads + two moments).
+    pub update: f64,
+}
+
+impl StepBreakdown {
+    /// Total step seconds.
+    pub fn total(&self) -> f64 {
+        self.forward + self.backward + self.memcopy + self.loss + self.update
+    }
+
+    /// Fractions of the total, in phase order (forward, backward, memcopy,
+    /// loss, update).
+    pub fn fractions(&self) -> [f64; 5] {
+        let t = self.total();
+        [
+            self.forward / t,
+            self.backward / t,
+            self.memcopy / t,
+            self.loss / t,
+            self.update / t,
+        ]
+    }
+
+    /// Element-wise sum (for averaging across workloads).
+    pub fn add(&mut self, other: &StepBreakdown) {
+        self.forward += other.forward;
+        self.backward += other.backward;
+        self.memcopy += other.memcopy;
+        self.loss += other.loss;
+        self.update += other.update;
+    }
+}
+
+const BYTES: f64 = 4.0;
+
+/// One training step of `model` on `gpu`.
+///
+/// Phase models:
+/// * forward: per layer `max(macs/peak, (X + W + Y)/bw)` plus a launch;
+/// * backward: per layer two GEMMs (`2×macs`), traffic
+///   `X + W + 2·dY + dX + dW` (the sequential baseline reads `dY` twice —
+///   the paper's premise), plus an element-wise activation-backward pass;
+/// * memcopy: the raw input batch over PCIe;
+/// * loss: softmax-like, three passes over the last layer's output;
+/// * update: Adam — read params, grads and two moments, write params and
+///   moments (6 accesses per parameter; embedding tables only touch the
+///   gathered rows).
+pub fn training_breakdown(model: &Model, gpu: &GpuConfig) -> StepBreakdown {
+    let mut out = StepBreakdown::default();
+
+    for layer in &model.layers {
+        let reps = (layer.count as u64 * layer.groups as u64) as f64;
+        let g = layer.gemm;
+        let macs = g.macs() as f64;
+        let x = g.m() as f64 * g.k() as f64 * layer.ifmap_density * BYTES;
+        let w = (g.k() * g.n()) as f64 * BYTES;
+        let y = (g.m() * g.n()) as f64 * BYTES;
+
+        let fwd = gpu.roofline_sec(macs, x + w + y) + gpu.kernel_launch_sec;
+        // dX and dW GEMMs, each a kernel; dY fetched by both.
+        let bwd_gemms =
+            gpu.roofline_sec(2.0 * macs, x + w + 2.0 * y + x + w) + 2.0 * gpu.kernel_launch_sec;
+        // Activation backward: read dX and the saved activation, write dY
+        // for the next layer.
+        let bwd_elem = gpu.roofline_sec(0.0, 3.0 * x) + gpu.kernel_launch_sec;
+
+        out.forward += reps * fwd;
+        out.backward += reps * (bwd_gemms + bwd_elem);
+    }
+
+    // Input transfer: raw bytes of the first layer's input over PCIe.
+    // PyTorch's pinned-memory pipeline overlaps roughly half of it with
+    // compute.
+    let first = &model.layers[0];
+    let input_bytes =
+        first.gemm.m() as f64 * first.gemm.k() as f64 * first.ifmap_density * BYTES;
+    out.memcopy = 0.5 * input_bytes / gpu.pcie_bytes_per_sec;
+
+    // Loss: softmax/CE passes over the logits plus the host
+    // synchronisation PyTorch's loss.item() forces every step.
+    let last = model.layers.last().expect("models are non-empty");
+    let logits = (last.gemm.m() * last.gemm.n()) as f64 * BYTES;
+    out.loss = gpu.roofline_sec(0.0, 3.0 * logits) + gpu.host_sync_sec;
+
+    // Update: PyTorch's unfused Adam launches a handful of element-wise
+    // kernels per parameter tensor (launch-bound for deep CNNs) and moves
+    // 6 accesses per dense parameter (params, grads, two moments;
+    // embedding tables only touch the gathered rows).
+    let dense_params = (model.params() - model.embedding_params) as f64;
+    let touched_embeddings = (model.embedding_params.min(model.batch * 27 * 64)) as f64;
+    let tensors = (model.total_layers() * 2) as f64; // weight + bias
+    out.update = gpu.roofline_sec(0.0, 6.0 * BYTES * (dense_params + touched_embeddings))
+        + tensors * 8.0 * gpu.kernel_launch_sec;
+
+    out
+}
+
+/// Average the per-phase fractions across a workload suite (the paper's
+/// Figure 3 averages over its models).
+pub fn average_fractions(models: &[Model], gpu: &GpuConfig) -> [f64; 5] {
+    let mut sum = [0.0f64; 5];
+    for model in models {
+        let f = training_breakdown(model, gpu).fractions();
+        for i in 0..5 {
+            sum[i] += f[i];
+        }
+    }
+    for s in &mut sum {
+        *s /= models.len() as f64;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igo_workloads::{zoo, ModelId};
+
+    #[test]
+    fn backward_dominates() {
+        let gpu = GpuConfig::a100();
+        for id in [ModelId::Resnet50, ModelId::BertLarge, ModelId::GoogleNet] {
+            let model = zoo::model(id, 256);
+            let b = training_breakdown(&model, &gpu);
+            let f = b.fractions();
+            assert!(
+                f[1] > f[0],
+                "{id}: backward ({:.2}) must dominate forward ({:.2})",
+                f[1],
+                f[0]
+            );
+            assert!(f[1] > 0.4, "{id}: backward should be the biggest phase");
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let gpu = GpuConfig::a100();
+        let model = zoo::model(ModelId::MobileNet, 256);
+        let f = training_breakdown(&model, &gpu).fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(f.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn fwd_plus_bwd_is_most_of_the_step() {
+        // Paper: forward + backward > 84% of step time on average.
+        let gpu = GpuConfig::a100();
+        let suite = zoo::server_suite(256);
+        let avg = average_fractions(&suite, &gpu);
+        assert!(
+            avg[0] + avg[1] > 0.7,
+            "fwd+bwd should dominate, got {:.2}",
+            avg[0] + avg[1]
+        );
+    }
+
+    #[test]
+    fn update_matters_for_big_dense_models() {
+        let gpu = GpuConfig::a100();
+        let res = zoo::model(ModelId::Resnet50, 256);
+        let f = training_breakdown(&res, &gpu).fractions();
+        assert!(f[4] > 0.02, "per-tensor optimiser launches must be visible");
+    }
+
+    #[test]
+    fn memcopy_small_but_nonzero() {
+        let gpu = GpuConfig::a100();
+        let res = zoo::model(ModelId::Resnet50, 256);
+        let f = training_breakdown(&res, &gpu).fractions();
+        assert!(f[2] > 0.0 && f[2] < 0.3);
+    }
+}

@@ -1,0 +1,19 @@
+//! Analytical GPU substrate for the IGO reproduction.
+//!
+//! Two of the paper's results run on real GPUs, which this workspace
+//! cannot assume. Per the substitution policy in `DESIGN.md`, this crate
+//! models the relevant first-order behaviour analytically:
+//!
+//! * [`breakdown`] — Figure 3: the training-step time decomposition
+//!   (forward / backward / memcopy / loss / update) of an A100-class GPU,
+//!   from a roofline cost model over the same Table-4 workloads.
+//! * [`kernels`] — Figure 17: the RTX-3090 validation, comparing the
+//!   sequential two-kernel backward pass against the fused three-input
+//!   kernel that reuses `dY` in shared memory, with the interleave /
+//!   rearrangement / partitioning ladder applied to thread-block tiling.
+
+pub mod breakdown;
+pub mod kernels;
+
+pub use breakdown::{training_breakdown, GpuConfig, StepBreakdown};
+pub use kernels::{backward_ladder, GpuLadder, SmemConfig};

@@ -1,0 +1,267 @@
+//! The KNN classifier.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`Classifier::fit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// `k` was zero.
+    ZeroK,
+    /// No training samples were provided.
+    EmptyTrainingSet,
+    /// Features and labels had different lengths.
+    LengthMismatch {
+        /// Number of feature vectors.
+        features: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// Feature vectors had inconsistent dimensionality.
+    RaggedFeatures {
+        /// Dimensionality of the first vector.
+        expected: usize,
+        /// Index of the offending vector.
+        index: usize,
+        /// Its dimensionality.
+        found: usize,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::ZeroK => write!(f, "k must be at least 1"),
+            FitError::EmptyTrainingSet => write!(f, "training set is empty"),
+            FitError::LengthMismatch { features, labels } => {
+                write!(f, "{features} feature vectors but {labels} labels")
+            }
+            FitError::RaggedFeatures {
+                expected,
+                index,
+                found,
+            } => write!(
+                f,
+                "feature vector {index} has {found} dims, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted K-nearest-neighbour classifier.
+///
+/// Prediction is brute-force (exact) over the training set: the paper's
+/// training sets are a few hundred layers, for which an index structure
+/// would be pure overhead.
+#[derive(Debug, Clone)]
+pub struct Classifier<L> {
+    k: usize,
+    features: Vec<Vec<f64>>,
+    labels: Vec<L>,
+    dims: usize,
+}
+
+impl<L: Clone + Eq + std::hash::Hash> Classifier<L> {
+    /// Fit a classifier with neighbourhood size `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FitError`] if `k == 0`, the training set is empty,
+    /// features and labels disagree in length, or feature vectors are
+    /// ragged.
+    pub fn fit(k: usize, features: Vec<Vec<f64>>, labels: Vec<L>) -> Result<Self, FitError> {
+        if k == 0 {
+            return Err(FitError::ZeroK);
+        }
+        if features.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        if features.len() != labels.len() {
+            return Err(FitError::LengthMismatch {
+                features: features.len(),
+                labels: labels.len(),
+            });
+        }
+        let dims = features[0].len();
+        for (index, v) in features.iter().enumerate() {
+            if v.len() != dims {
+                return Err(FitError::RaggedFeatures {
+                    expected: dims,
+                    index,
+                    found: v.len(),
+                });
+            }
+        }
+        Ok(Self {
+            k,
+            features,
+            labels,
+            dims,
+        })
+    }
+
+    /// Neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of training samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the training set is empty (never true for a fitted model).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Predict the label of `query` by majority vote among the `k` nearest
+    /// training samples (Euclidean distance). Ties in the vote are broken
+    /// toward the nearest member of the tied labels, which makes the
+    /// prediction deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.dims()`.
+    pub fn predict(&self, query: &[f64]) -> &L {
+        assert_eq!(
+            query.len(),
+            self.dims,
+            "query has {} dims, classifier expects {}",
+            query.len(),
+            self.dims
+        );
+        let mut dists: Vec<(f64, usize)> = self
+            .features
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (euclidean_sq(query, v), i))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let neighbours = &mut dists[..k];
+        neighbours.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+
+        // Majority vote; ties broken by the nearest occurrence.
+        let mut votes: HashMap<&L, usize> = HashMap::new();
+        for (_, idx) in neighbours.iter() {
+            *votes.entry(&self.labels[*idx]).or_insert(0) += 1;
+        }
+        let best_count = *votes.values().max().expect("k >= 1");
+        neighbours
+            .iter()
+            .map(|(_, idx)| &self.labels[*idx])
+            .find(|label| votes[*label] == best_count)
+            .expect("at least one neighbour")
+    }
+}
+
+fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> (Vec<Vec<f64>>, Vec<u8>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            xs.push(vec![i as f64 * 0.01, 0.0]);
+            ys.push(0u8);
+            xs.push(vec![10.0 + i as f64 * 0.01, 10.0]);
+            ys.push(1u8);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn separable_clusters_classify_correctly() {
+        let (xs, ys) = clusters();
+        let knn = Classifier::fit(3, xs, ys).unwrap();
+        assert_eq!(*knn.predict(&[0.5, 0.5]), 0);
+        assert_eq!(*knn.predict(&[9.5, 9.5]), 1);
+    }
+
+    #[test]
+    fn k_one_is_nearest_neighbour() {
+        let knn = Classifier::fit(
+            1,
+            vec![vec![0.0], vec![10.0]],
+            vec!["left", "right"],
+        )
+        .unwrap();
+        assert_eq!(*knn.predict(&[4.0]), "left");
+        assert_eq!(*knn.predict(&[6.0]), "right");
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_clamped() {
+        let knn = Classifier::fit(100, vec![vec![0.0], vec![1.0]], vec![0, 0]).unwrap();
+        assert_eq!(*knn.predict(&[0.5]), 0);
+    }
+
+    #[test]
+    fn tie_broken_by_nearest() {
+        // k=2 with one vote each: the closer sample's label wins.
+        let knn = Classifier::fit(2, vec![vec![0.0], vec![3.0]], vec!["a", "b"]).unwrap();
+        assert_eq!(*knn.predict(&[1.0]), "a");
+        assert_eq!(*knn.predict(&[2.0]), "b");
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert_eq!(
+            Classifier::<u8>::fit(0, vec![vec![1.0]], vec![0]).unwrap_err(),
+            FitError::ZeroK
+        );
+        assert_eq!(
+            Classifier::<u8>::fit(1, vec![], vec![]).unwrap_err(),
+            FitError::EmptyTrainingSet
+        );
+        assert_eq!(
+            Classifier::fit(1, vec![vec![1.0]], vec![0, 1]).unwrap_err(),
+            FitError::LengthMismatch {
+                features: 1,
+                labels: 2
+            }
+        );
+        assert!(matches!(
+            Classifier::fit(1, vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]).unwrap_err(),
+            FitError::RaggedFeatures { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "dims")]
+    fn wrong_query_dims_panics() {
+        let knn = Classifier::fit(1, vec![vec![0.0, 0.0]], vec![0]).unwrap();
+        let _ = knn.predict(&[1.0]);
+    }
+
+    #[test]
+    fn fit_error_display() {
+        assert!(FitError::ZeroK.to_string().contains("at least 1"));
+        let e = FitError::LengthMismatch {
+            features: 3,
+            labels: 2,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

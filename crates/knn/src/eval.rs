@@ -1,0 +1,167 @@
+//! Train/test-split evaluation of the classifier.
+//!
+//! Mirrors the paper's protocol (§5): random 80/20 split, fit on the
+//! training side, score accuracy on the test side, repeat 1000 times and
+//! average.
+
+use crate::classifier::{Classifier, FitError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A train/test index split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of test samples.
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Randomly split `n` samples, putting `train_fraction` of them in the
+    /// training set (at least one sample on each side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `train_fraction` is not strictly inside (0, 1).
+    pub fn random<R: Rng>(n: usize, train_fraction: f64, rng: &mut R) -> Self {
+        assert!(n >= 2, "need at least 2 samples to split, got {n}");
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0,1), got {train_fraction}"
+        );
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(rng);
+        let cut = ((n as f64 * train_fraction).round() as usize).clamp(1, n - 1);
+        let test = indices.split_off(cut);
+        Split {
+            train: indices,
+            test,
+        }
+    }
+}
+
+/// Fit on `split.train`, score on `split.test`; returns the accuracy in
+/// `[0, 1]`.
+///
+/// # Errors
+///
+/// Propagates [`FitError`] from fitting on the training subset.
+pub fn evaluate<L: Clone + Eq + std::hash::Hash>(
+    k: usize,
+    features: &[Vec<f64>],
+    labels: &[L],
+    split: &Split,
+) -> Result<f64, FitError> {
+    let train_x: Vec<Vec<f64>> = split.train.iter().map(|&i| features[i].clone()).collect();
+    let train_y: Vec<L> = split.train.iter().map(|&i| labels[i].clone()).collect();
+    let knn = Classifier::fit(k, train_x, train_y)?;
+    if split.test.is_empty() {
+        return Ok(1.0);
+    }
+    let correct = split
+        .test
+        .iter()
+        .filter(|&&i| *knn.predict(&features[i]) == labels[i])
+        .count();
+    Ok(correct as f64 / split.test.len() as f64)
+}
+
+/// The paper's protocol: `repeats` random `train_fraction` splits, mean
+/// accuracy.
+///
+/// # Errors
+///
+/// Propagates [`FitError`] (e.g. an empty dataset).
+pub fn repeated_accuracy<L: Clone + Eq + std::hash::Hash, R: Rng>(
+    k: usize,
+    features: &[Vec<f64>],
+    labels: &[L],
+    train_fraction: f64,
+    repeats: usize,
+    rng: &mut R,
+) -> Result<f64, FitError> {
+    assert!(repeats > 0, "need at least one repetition");
+    let mut total = 0.0;
+    for _ in 0..repeats {
+        let split = Split::random(features.len(), train_fraction, rng);
+        total += evaluate(k, features, labels, &split)?;
+    }
+    Ok(total / repeats as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> (Vec<Vec<f64>>, Vec<u8>) {
+        // Two well-separated Gaussian-ish blobs, 40 samples.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.05;
+            xs.push(vec![jitter, -jitter]);
+            ys.push(0u8);
+            xs.push(vec![8.0 + jitter, 8.0 - jitter]);
+            ys.push(1u8);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn split_partitions_indices() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = Split::random(10, 0.8, &mut rng);
+        assert_eq!(s.train.len() + s.test.len(), 10);
+        assert_eq!(s.train.len(), 8);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_always_leaves_a_test_sample() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Split::random(2, 0.99, &mut rng);
+        assert_eq!(s.train.len(), 1);
+        assert_eq!(s.test.len(), 1);
+    }
+
+    #[test]
+    fn separable_data_scores_perfectly() {
+        let (xs, ys) = dataset();
+        let mut rng = StdRng::seed_from_u64(42);
+        let acc = repeated_accuracy(3, &xs, &ys, 0.8, 50, &mut rng).unwrap();
+        assert!(acc > 0.99, "separable blobs must classify, got {acc}");
+    }
+
+    #[test]
+    fn random_labels_score_near_chance() {
+        // Each feature value appears with both labels equally often, so the
+        // feature carries no information: accuracy ~= 0.5.
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64]).collect();
+        let ys: Vec<u8> = (0..100).map(|i| ((i / 10) % 2) as u8).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let acc = repeated_accuracy(3, &xs, &ys, 0.8, 100, &mut rng).unwrap();
+        assert!((0.3..0.7).contains(&acc), "chance-level expected, got {acc}");
+    }
+
+    #[test]
+    fn evaluate_propagates_fit_errors() {
+        let split = Split {
+            train: vec![],
+            test: vec![0],
+        };
+        let err = evaluate(3, &[vec![1.0]], &[0u8], &split).unwrap_err();
+        assert_eq!(err, FitError::EmptyTrainingSet);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 samples")]
+    fn split_of_one_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Split::random(1, 0.8, &mut rng);
+    }
+}

@@ -1,0 +1,32 @@
+//! K-nearest-neighbour classification for data-partitioning selection.
+//!
+//! §5 of the IGO paper: "we employ the K-nearest neighbors (KNN) algorithm
+//! to identify an efficient data partitioning scheme for each layer",
+//! using "the dimensions of dX, dW, and dY as features", an 80/20
+//! train/test split, and 1000 repetitions, reporting ~91% mean accuracy.
+//!
+//! This crate provides the classifier itself, generically over label type:
+//! [`Classifier`] for fitting/predicting, [`evaluate`] /
+//! [`repeated_accuracy`] for split-and-score experiments. Feature vectors
+//! are plain `Vec<f64>`; callers are expected to pre-scale (the IGO pipeline
+//! feeds `log2` of the tensor dimensions, which makes Euclidean distance a
+//! relative-size metric).
+//!
+//! # Example
+//!
+//! ```
+//! use igo_knn::Classifier;
+//!
+//! let xs = vec![vec![0.0, 0.0], vec![0.1, 0.1], vec![5.0, 5.0], vec![5.1, 4.9]];
+//! let ys = vec!["small", "small", "big", "big"];
+//! let knn = Classifier::fit(3, xs, ys)?;
+//! assert_eq!(knn.predict(&[0.2, 0.0]), &"small");
+//! assert_eq!(knn.predict(&[4.5, 5.5]), &"big");
+//! # Ok::<(), igo_knn::FitError>(())
+//! ```
+
+pub mod classifier;
+pub mod eval;
+
+pub use classifier::{Classifier, FitError};
+pub use eval::{evaluate, repeated_accuracy, Split};

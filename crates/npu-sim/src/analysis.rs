@@ -1,0 +1,226 @@
+//! Schedule analysis: reuse distances and per-tensor access statistics.
+//!
+//! The paper's central quantity is the *reuse distance* of a `dY` tile —
+//! "duplicated memory traffic arises when the distance between the dX and
+//! dW calculations exceeds the number of tiled computations that can be
+//! loaded in half of the SPM" (§4.2). This module computes exactly that,
+//! for any schedule, without running the timing simulation:
+//!
+//! * [`reuse_distances`] — for every repeated tile access, the number of
+//!   distinct tile-bytes touched since the previous access to the same
+//!   tile (the stack distance, i.e. the smallest capacity at which the
+//!   access would hit under OPT/LRU for that single tile).
+//! * [`ReuseProfile`] — a per-tensor-class digest: access counts, reuse
+//!   counts, and how many reuses fit within a given capacity.
+//!
+//! These tools power the `schedule_inspection` example and make the
+//! paper's Figure 9 argument ("T0 is already evicted before the
+//! subsequent computation") checkable for any concrete layer.
+
+use crate::trace::{Schedule, ScheduleOp, TileKey};
+use igo_tensor::TensorClass;
+use std::collections::HashMap;
+
+/// One repeated access and its stack distance in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reuse {
+    /// The tile being re-accessed.
+    pub key: TileKey,
+    /// Traffic class of the tile's tensor.
+    pub class: TensorClass,
+    /// Distinct tile bytes touched since the previous access to `key`
+    /// (inclusive of nothing; 0 means back-to-back accesses).
+    pub stack_distance_bytes: u64,
+}
+
+/// Compute the stack distance of every repeated access in `schedule`.
+///
+/// Uses the classic two-pass algorithm over the flattened access stream;
+/// `Barrier` ops reset all history (reuse never crosses a kernel
+/// boundary, matching the engine).
+pub fn reuse_distances(schedule: &Schedule) -> Vec<Reuse> {
+    // Flatten accesses.
+    let mut stream: Vec<Option<(TileKey, u64)>> = Vec::new();
+    for op in schedule.ops() {
+        match op {
+            ScheduleOp::Gemm(g) => {
+                for r in &g.reads {
+                    stream.push(Some((r.key, r.bytes)));
+                }
+                if let Some(a) = &g.acc {
+                    stream.push(Some((a.key, a.bytes)));
+                }
+            }
+            ScheduleOp::Barrier => stream.push(None),
+            ScheduleOp::Stream(_) => {}
+        }
+    }
+
+    let mut last_pos: HashMap<TileKey, usize> = HashMap::new();
+    let mut out = Vec::new();
+    for (pos, access) in stream.iter().enumerate() {
+        let Some((key, _)) = access else {
+            last_pos.clear();
+            continue;
+        };
+        if let Some(&prev) = last_pos.get(key) {
+            // Distinct tiles touched strictly between prev and pos.
+            let mut seen: HashMap<TileKey, u64> = HashMap::new();
+            for access in stream[prev + 1..pos].iter().flatten() {
+                seen.insert(access.0, access.1);
+            }
+            seen.remove(key);
+            out.push(Reuse {
+                key: *key,
+                class: schedule.class_of(key.tensor),
+                stack_distance_bytes: seen.values().sum(),
+            });
+        }
+        last_pos.insert(*key, pos);
+    }
+    out
+}
+
+/// Per-class digest of a schedule's reuse behaviour.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReuseProfile {
+    /// Total tile accesses per class.
+    pub accesses: HashMap<TensorClass, u64>,
+    /// Repeated accesses (reuses) per class.
+    pub reuses: HashMap<TensorClass, u64>,
+    /// Reuses whose stack distance fits within the profiled capacity.
+    pub reuses_within_capacity: HashMap<TensorClass, u64>,
+    /// The capacity the profile was computed against, in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl ReuseProfile {
+    /// Fraction of a class's reuses that a `capacity_bytes` SPM can
+    /// actually capture (1.0 when the class has no reuses).
+    pub fn capture_rate(&self, class: TensorClass) -> f64 {
+        let total = self.reuses.get(&class).copied().unwrap_or(0);
+        if total == 0 {
+            return 1.0;
+        }
+        let hit = self
+            .reuses_within_capacity
+            .get(&class)
+            .copied()
+            .unwrap_or(0);
+        hit as f64 / total as f64
+    }
+}
+
+/// Profile `schedule` against an SPM residency of `capacity_bytes`.
+pub fn reuse_profile(schedule: &Schedule, capacity_bytes: u64) -> ReuseProfile {
+    let mut profile = ReuseProfile {
+        capacity_bytes,
+        ..Default::default()
+    };
+    for op in schedule.ops() {
+        if let ScheduleOp::Gemm(g) = op {
+            for r in &g.reads {
+                *profile
+                    .accesses
+                    .entry(schedule.class_of(r.key.tensor))
+                    .or_insert(0) += 1;
+            }
+            if let Some(a) = &g.acc {
+                *profile
+                    .accesses
+                    .entry(schedule.class_of(a.key.tensor))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    for reuse in reuse_distances(schedule) {
+        *profile.reuses.entry(reuse.class).or_insert(0) += 1;
+        if reuse.stack_distance_bytes <= capacity_bytes {
+            *profile
+                .reuses_within_capacity
+                .entry(reuse.class)
+                .or_insert(0) += 1;
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TensorId, TileOp};
+    use igo_tensor::{GemmShape, TileCoord};
+
+    fn tile_op(s: &mut Schedule, tensor: TensorId, c: u32, bytes: u64) {
+        s.push_gemm(TileOp::new(GemmShape::new(4, 4, 4)).read(
+            tensor,
+            TileCoord::new(0, c),
+            bytes,
+        ));
+    }
+
+    #[test]
+    fn back_to_back_reuse_has_zero_distance() {
+        let mut s = Schedule::new("r");
+        let t = s.add_tensor(TensorClass::OutGrad, "dY");
+        tile_op(&mut s, t, 0, 100);
+        tile_op(&mut s, t, 0, 100);
+        let reuses = reuse_distances(&s);
+        assert_eq!(reuses.len(), 1);
+        assert_eq!(reuses[0].stack_distance_bytes, 0);
+    }
+
+    #[test]
+    fn distance_counts_distinct_intervening_bytes() {
+        let mut s = Schedule::new("r");
+        let t = s.add_tensor(TensorClass::OutGrad, "dY");
+        tile_op(&mut s, t, 0, 100); // A
+        tile_op(&mut s, t, 1, 60); // B
+        tile_op(&mut s, t, 1, 60); // B again (doesn't double-count)
+        tile_op(&mut s, t, 2, 40); // C
+        tile_op(&mut s, t, 0, 100); // A reused: distance = |B| + |C| = 100
+        let reuses = reuse_distances(&s);
+        let a_reuse = reuses.last().unwrap();
+        assert_eq!(a_reuse.stack_distance_bytes, 100);
+    }
+
+    #[test]
+    fn barrier_resets_history() {
+        let mut s = Schedule::new("r");
+        let t = s.add_tensor(TensorClass::OutGrad, "dY");
+        tile_op(&mut s, t, 0, 100);
+        s.push_barrier();
+        tile_op(&mut s, t, 0, 100);
+        assert!(
+            reuse_distances(&s).is_empty(),
+            "reuse across a kernel boundary is not a reuse"
+        );
+    }
+
+    #[test]
+    fn profile_capture_rate() {
+        let mut s = Schedule::new("p");
+        let t = s.add_tensor(TensorClass::OutGrad, "dY");
+        // A ... (500 bytes of other tiles) ... A  -> distance 500.
+        tile_op(&mut s, t, 0, 100);
+        for c in 1..6 {
+            tile_op(&mut s, t, c, 100);
+        }
+        tile_op(&mut s, t, 0, 100);
+        let small = reuse_profile(&s, 200);
+        let large = reuse_profile(&s, 1000);
+        assert!(small.capture_rate(TensorClass::OutGrad) < 1.0);
+        assert_eq!(large.capture_rate(TensorClass::OutGrad), 1.0);
+        assert_eq!(small.accesses[&TensorClass::OutGrad], 7);
+    }
+
+    #[test]
+    fn classes_without_reuse_capture_trivially() {
+        let mut s = Schedule::new("p");
+        let t = s.add_tensor(TensorClass::Weight, "W");
+        tile_op(&mut s, t, 0, 10);
+        let p = reuse_profile(&s, 1);
+        assert_eq!(p.capture_rate(TensorClass::Weight), 1.0);
+        assert_eq!(p.capture_rate(TensorClass::OutGrad), 1.0);
+    }
+}

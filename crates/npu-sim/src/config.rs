@@ -1,0 +1,277 @@
+//! NPU hardware configurations.
+//!
+//! The paper evaluates two configurations (Table 3):
+//!
+//! | | Small NPU (edge) | Large NPU (server) |
+//! |---|---|---|
+//! | Compute unit | 1 × (45 × 45 PE) | 1–8 × (128 × 128 PE) |
+//! | DRAM bandwidth | 22 GB/s | 150 GB/s per core |
+//! | Frequency | 1 GHz | 1050 MHz |
+//! | Scratchpad | 1 MB | 8 MB per core |
+//! | Batch size | 4 | 8 per core |
+//!
+//! The small configuration models an ARM Ethos-N77-class edge NPU, the large
+//! one a Google-TPU-class training core. For multi-core runs the paper
+//! scales DRAM bandwidth, SPM capacity and batch size proportionally with
+//! core count, with all cores sharing the SPM (§6.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of one systolic processing-element array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PeArray {
+    /// Array rows (the reduction direction in weight-stationary dataflow).
+    pub rows: u32,
+    /// Array columns (the output-channel direction).
+    pub cols: u32,
+}
+
+impl PeArray {
+    /// Create an array shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "PE array extents must be positive");
+        Self { rows, cols }
+    }
+
+    /// MACs available per cycle (`rows * cols`).
+    pub const fn macs_per_cycle(self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+}
+
+impl core::fmt::Display for PeArray {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{} PE", self.rows, self.cols)
+    }
+}
+
+/// Off-chip memory channel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Sustained bandwidth in bytes per second (aggregate across cores).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed latency charged once per tile burst, in cycles.
+    pub burst_latency_cycles: u64,
+}
+
+impl DramConfig {
+    /// Bandwidth expressed in bytes per NPU cycle at `freq_hz`.
+    pub fn bytes_per_cycle(&self, freq_hz: f64) -> f64 {
+        self.bandwidth_bytes_per_sec / freq_hz
+    }
+}
+
+/// A complete NPU configuration.
+///
+/// Use the presets ([`NpuConfig::small_edge`], [`NpuConfig::large_server`])
+/// for the paper's Table 3, or build a custom config and adjust fields via
+/// the `with_*` methods (used by the bandwidth/batch sweeps of Figures 15
+/// and 16).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpuConfig {
+    /// Human-readable name, used in reports.
+    pub name: String,
+    /// Number of NPU cores (each with its own systolic array).
+    pub cores: u32,
+    /// Systolic array per core.
+    pub pe: PeArray,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Total SPM capacity in bytes (shared by all cores).
+    pub spm_bytes: u64,
+    /// DRAM channel (aggregate bandwidth).
+    pub dram: DramConfig,
+    /// Per-core batch size (the paper's batch scales with core count).
+    pub batch_per_core: u64,
+}
+
+impl NpuConfig {
+    /// Table 3 "Small NPU": edge-class, ARM Ethos-N77-like.
+    /// 45×45 PE, 22 GB/s, 1 GHz, 1 MB SPM, batch 4.
+    pub fn small_edge() -> Self {
+        Self {
+            name: "small-npu".to_owned(),
+            cores: 1,
+            pe: PeArray::new(45, 45),
+            freq_hz: 1.0e9,
+            spm_bytes: 1 << 20,
+            dram: DramConfig {
+                bandwidth_bytes_per_sec: 22.0e9,
+                burst_latency_cycles: 20,
+            },
+            batch_per_core: 4,
+        }
+    }
+
+    /// Table 3 "Large NPU" with a single core: server-class, TPU-like.
+    /// 128×128 PE, 150 GB/s per core, 1.05 GHz, 8 MB SPM per core, batch 8.
+    pub fn large_server(cores: u32) -> Self {
+        assert!(
+            (1..=8).contains(&cores),
+            "the paper's large NPU spans 1-8 cores, got {cores}"
+        );
+        Self {
+            name: format!("large-npu-x{cores}"),
+            cores,
+            pe: PeArray::new(128, 128),
+            freq_hz: 1.05e9,
+            spm_bytes: (8u64 << 20) * cores as u64,
+            dram: DramConfig {
+                bandwidth_bytes_per_sec: 150.0e9 * cores as f64,
+                burst_latency_cycles: 20,
+            },
+            batch_per_core: 8,
+        }
+    }
+
+    /// Convenience: the single-core large NPU.
+    pub fn large_single_core() -> Self {
+        Self::large_server(1)
+    }
+
+    /// Total batch size for this configuration (`batch_per_core × cores`).
+    pub fn default_batch(&self) -> u64 {
+        self.batch_per_core * self.cores as u64
+    }
+
+    /// SPM capacity available to one core (even slice of the shared SPM).
+    pub fn spm_bytes_per_core(&self) -> u64 {
+        self.spm_bytes / self.cores as u64
+    }
+
+    /// DRAM bandwidth available to one core, bytes per cycle.
+    pub fn dram_bytes_per_cycle_per_core(&self) -> f64 {
+        self.dram.bytes_per_cycle(self.freq_hz) / self.cores as f64
+    }
+
+    /// Aggregate DRAM bandwidth, bytes per cycle.
+    pub fn dram_bytes_per_cycle_total(&self) -> f64 {
+        self.dram.bytes_per_cycle(self.freq_hz)
+    }
+
+    /// Scale the DRAM bandwidth by `factor` (Figure 15 uses 0.5× and 0.25×).
+    #[must_use]
+    pub fn with_bandwidth_scale(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "bandwidth scale must be positive");
+        self.dram.bandwidth_bytes_per_sec *= factor;
+        self.name = format!("{}-bw{factor}x", self.name);
+        self
+    }
+
+    /// Override the per-core batch size (Figure 16 uses 8/16/32).
+    #[must_use]
+    pub fn with_batch_per_core(mut self, batch: u64) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        self.batch_per_core = batch;
+        self
+    }
+
+    /// Override the SPM capacity.
+    #[must_use]
+    pub fn with_spm_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "SPM capacity must be positive");
+        self.spm_bytes = bytes;
+        self
+    }
+
+    /// Peak MAC throughput of the whole NPU, MACs per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.pe.macs_per_cycle() * self.cores as u64
+    }
+
+    /// The residency capacity the schedule-visible half of the SPM offers on
+    /// one core. Double buffering dedicates the other half to in-flight
+    /// prefetches (paper §4.2: a tile is re-fetched when its reuse distance
+    /// "exceeds the number of tiled computations that can be loaded in half
+    /// of the SPM").
+    pub fn residency_bytes_per_core(&self) -> u64 {
+        self.spm_bytes_per_core() / 2
+    }
+}
+
+impl core::fmt::Display for NpuConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: {} cores x {} @ {:.2} GHz, SPM {} KiB, DRAM {:.1} GB/s",
+            self.name,
+            self.cores,
+            self.pe,
+            self.freq_hz / 1e9,
+            self.spm_bytes / 1024,
+            self.dram.bandwidth_bytes_per_sec / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_small_npu() {
+        let c = NpuConfig::small_edge();
+        assert_eq!(c.pe, PeArray::new(45, 45));
+        assert_eq!(c.spm_bytes, 1024 * 1024);
+        assert_eq!(c.default_batch(), 4);
+        assert!((c.dram_bytes_per_cycle_total() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_large_npu() {
+        let c = NpuConfig::large_single_core();
+        assert_eq!(c.pe, PeArray::new(128, 128));
+        assert_eq!(c.spm_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.default_batch(), 8);
+        // 150 GB/s at 1.05 GHz is ~142.9 bytes/cycle.
+        assert!((c.dram_bytes_per_cycle_total() - 150.0e9 / 1.05e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multicore_scales_resources() {
+        let c = NpuConfig::large_server(4);
+        assert_eq!(c.spm_bytes, 4 * 8 * 1024 * 1024);
+        assert_eq!(c.default_batch(), 32);
+        assert_eq!(c.spm_bytes_per_core(), 8 * 1024 * 1024);
+        // Per-core bandwidth stays 150 GB/s.
+        let single = NpuConfig::large_single_core();
+        assert!(
+            (c.dram_bytes_per_cycle_per_core() - single.dram_bytes_per_cycle_per_core()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn bandwidth_scale() {
+        let c = NpuConfig::large_single_core().with_bandwidth_scale(0.5);
+        assert!((c.dram.bandwidth_bytes_per_sec - 75.0e9).abs() < 1.0);
+        assert!(c.name.contains("bw0.5x"));
+    }
+
+    #[test]
+    fn residency_is_half_spm() {
+        let c = NpuConfig::small_edge();
+        assert_eq!(c.residency_bytes_per_core(), 512 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-8 cores")]
+    fn too_many_cores_panics() {
+        let _ = NpuConfig::large_server(16);
+    }
+
+    #[test]
+    fn batch_override() {
+        let c = NpuConfig::large_single_core().with_batch_per_core(32);
+        assert_eq!(c.default_batch(), 32);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(NpuConfig::small_edge().to_string().contains("small-npu"));
+    }
+}

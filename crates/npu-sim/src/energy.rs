@@ -1,0 +1,182 @@
+//! First-order energy model.
+//!
+//! The paper motivates SPM reuse with throughput *and power efficiency*
+//! (§2.1): a DRAM access costs two orders of magnitude more energy than an
+//! SPM access, so every eliminated off-chip transfer is an energy win even
+//! when bandwidth is not the bottleneck. This module turns a [`SimReport`]
+//! into picojoules using the standard 45/22-nm-era accelerator constants
+//! (Horowitz ISSCC'14 ballpark):
+//!
+//! | component | default |
+//! |---|---|
+//! | DRAM transfer | 160 pJ/byte (LPDDR-class edge) / 40 pJ/byte (HBM-class server) |
+//! | SPM access | 1.2 pJ/byte |
+//! | MAC (fp32) | 4.6 pJ |
+//! | static/leakage | per-cycle constant |
+//!
+//! Because every technique performs the same MACs, energy differences come
+//! almost entirely from the DRAM term — making the energy ladder an even
+//! stronger version of the time ladder on bandwidth-rich machines.
+
+use crate::config::NpuConfig;
+use crate::stats::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// Energy cost constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Picojoules per DRAM byte moved (read or write).
+    pub pj_per_dram_byte: f64,
+    /// Picojoules per SPM byte staged to the array.
+    pub pj_per_spm_byte: f64,
+    /// Picojoules per multiply-accumulate.
+    pub pj_per_mac: f64,
+    /// Static (leakage + clocking) picojoules per cycle.
+    pub pj_static_per_cycle: f64,
+}
+
+impl EnergyModel {
+    /// Edge-device constants: LPDDR4-class DRAM, small SPM.
+    pub fn edge() -> Self {
+        Self {
+            pj_per_dram_byte: 160.0,
+            pj_per_spm_byte: 1.2,
+            pj_per_mac: 4.6,
+            pj_static_per_cycle: 50.0,
+        }
+    }
+
+    /// Server constants: HBM-class DRAM (far cheaper per byte), bigger
+    /// static floor.
+    pub fn server() -> Self {
+        Self {
+            pj_per_dram_byte: 40.0,
+            pj_per_spm_byte: 1.2,
+            pj_per_mac: 4.6,
+            pj_static_per_cycle: 400.0,
+        }
+    }
+
+    /// Pick edge/server constants to match a configuration.
+    pub fn for_config(config: &NpuConfig) -> Self {
+        if config.pe.rows < 100 {
+            Self::edge()
+        } else {
+            Self::server()
+        }
+    }
+
+    /// Estimate the energy of one simulated report.
+    pub fn estimate(&self, report: &SimReport) -> EnergyReport {
+        EnergyReport {
+            dram_pj: report.traffic.total() as f64 * self.pj_per_dram_byte,
+            spm_pj: report.spm_bytes_touched as f64 * self.pj_per_spm_byte,
+            compute_pj: report.macs as f64 * self.pj_per_mac,
+            static_pj: report.cycles as f64 * self.pj_static_per_cycle,
+        }
+    }
+}
+
+/// Energy of one simulated run, by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Off-chip transfer energy.
+    pub dram_pj: f64,
+    /// On-chip staging energy.
+    pub spm_pj: f64,
+    /// Arithmetic energy.
+    pub compute_pj: f64,
+    /// Leakage/clocking energy over the makespan.
+    pub static_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj + self.spm_pj + self.compute_pj + self.static_pj
+    }
+
+    /// Total in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1e9
+    }
+
+    /// Fraction of the energy spent on DRAM transfers.
+    pub fn dram_fraction(&self) -> f64 {
+        if self.total_pj() == 0.0 {
+            0.0
+        } else {
+            self.dram_pj / self.total_pj()
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &EnergyReport) {
+        self.dram_pj += other.dram_pj;
+        self.spm_pj += other.spm_pj;
+        self.compute_pj += other.compute_pj;
+        self.static_pj += other.static_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Traffic;
+    use igo_tensor::TensorClass;
+
+    fn report(dram_bytes: u64, spm_bytes: u64, macs: u64, cycles: u64) -> SimReport {
+        let mut traffic = Traffic::new();
+        traffic.add_read(TensorClass::OutGrad, dram_bytes);
+        SimReport {
+            cycles,
+            traffic,
+            macs,
+            spm_bytes_touched: spm_bytes,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn components_add_up() {
+        let m = EnergyModel::edge();
+        let e = m.estimate(&report(1000, 5000, 200, 100));
+        assert!((e.dram_pj - 160_000.0).abs() < 1e-9);
+        assert!((e.spm_pj - 6_000.0).abs() < 1e-9);
+        assert!((e.compute_pj - 920.0).abs() < 1e-9);
+        assert!((e.static_pj - 5_000.0).abs() < 1e-9);
+        assert!((e.total_pj() - 171_920.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_dominates_on_edge_for_low_reuse() {
+        let m = EnergyModel::edge();
+        let e = m.estimate(&report(1 << 20, 1 << 20, 1 << 20, 1 << 12));
+        assert!(e.dram_fraction() > 0.9);
+    }
+
+    #[test]
+    fn config_dispatch() {
+        let edge = EnergyModel::for_config(&NpuConfig::small_edge());
+        let server = EnergyModel::for_config(&NpuConfig::large_single_core());
+        assert!(edge.pj_per_dram_byte > server.pj_per_dram_byte);
+    }
+
+    #[test]
+    fn less_traffic_means_less_energy() {
+        let m = EnergyModel::server();
+        let high = m.estimate(&report(2000, 100, 10, 10));
+        let low = m.estimate(&report(1000, 100, 10, 10));
+        assert!(low.total_pj() < high.total_pj());
+    }
+
+    #[test]
+    fn report_add_accumulates() {
+        let m = EnergyModel::edge();
+        let mut a = m.estimate(&report(10, 10, 10, 10));
+        let b = m.estimate(&report(20, 20, 20, 20));
+        let before = a.total_pj();
+        a.add(&b);
+        assert!((a.total_pj() - before - b.total_pj()).abs() < 1e-9);
+    }
+}

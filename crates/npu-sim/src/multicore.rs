@@ -1,0 +1,251 @@
+//! Multi-core execution and sequential partition chaining.
+//!
+//! §6.3 of the paper evaluates 1–8 core NPUs in which "DRAM bandwidth, SPM
+//! size, and batch size increase proportionally with the growth in the
+//! number of cores, with all cores sharing the SPM". We model that as:
+//!
+//! * each core runs its own [`Engine`] over its partition's schedule, with
+//!   an even slice of the shared SPM and an even share of the aggregate
+//!   DRAM bandwidth;
+//! * the step time is the slowest core's makespan plus, for partitioning
+//!   schemes that need it, a cross-partition **reduction** of the partial
+//!   gradient tensors at aggregate bandwidth (weight-sharing partitioning
+//!   accumulates `dW` partials; dY-sharing accumulates `dX`; ifmap-sharing
+//!   needs none — §5).
+//!
+//! [`run_sequential_partitions`] is the single-core analogue: the
+//! partition schedules (compatible forks of one parent) are concatenated
+//! and executed as one stream, so SPM residency — including the shared
+//! tensor's tiles — carries across partition boundaries, plus the same
+//! reduction traffic.
+
+use crate::config::NpuConfig;
+use crate::engine::Engine;
+use crate::stats::{SimReport, Traffic};
+use crate::trace::{Schedule, StreamOp};
+
+/// Result of a multi-core step.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiCoreReport {
+    /// Per-core reports (one combined report for the sequential case).
+    pub core_reports: Vec<SimReport>,
+    /// Cycles spent in the cross-partition reduction (0 when none needed).
+    pub reduction_cycles: u64,
+    /// Step makespan: slowest core plus reduction.
+    pub cycles: u64,
+    /// Aggregate DRAM traffic of all cores plus the reduction.
+    pub traffic: Traffic,
+}
+
+impl MultiCoreReport {
+    /// Total MACs across cores.
+    pub fn macs(&self) -> u64 {
+        self.core_reports.iter().map(|r| r.macs).sum()
+    }
+}
+
+fn reduction_cost(config: &NpuConfig, reduction: Option<StreamOp>, traffic: &mut Traffic) -> u64 {
+    match reduction {
+        None => 0,
+        Some(op) => {
+            let bytes = op.read_bytes + op.write_bytes;
+            if bytes == 0 {
+                return 0;
+            }
+            if op.read_bytes > 0 {
+                traffic.add_read(op.class, op.read_bytes);
+            }
+            if op.write_bytes > 0 {
+                traffic.add_write(op.class, op.write_bytes);
+            }
+            (bytes as f64 / config.dram_bytes_per_cycle_total()
+                + config.dram.burst_latency_cycles as f64)
+                .ceil() as u64
+        }
+    }
+}
+
+/// Run one schedule per core concurrently.
+///
+/// `per_core.len()` may be smaller than `config.cores` (idle cores), but
+/// not larger.
+///
+/// # Panics
+///
+/// Panics if more schedules than cores are supplied.
+pub fn run_multicore(
+    config: &NpuConfig,
+    per_core: &[Schedule],
+    reduction: Option<StreamOp>,
+) -> MultiCoreReport {
+    assert!(
+        per_core.len() <= config.cores as usize,
+        "{} schedules for {} cores",
+        per_core.len(),
+        config.cores
+    );
+    let engine = Engine::new(config);
+    let core_reports: Vec<SimReport> = per_core.iter().map(|s| engine.run(s)).collect();
+    let mut traffic = Traffic::new();
+    for r in &core_reports {
+        traffic.merge(&r.traffic);
+    }
+    let slowest = core_reports.iter().map(|r| r.cycles).max().unwrap_or(0);
+    let reduction_cycles = reduction_cost(config, reduction, &mut traffic);
+    MultiCoreReport {
+        core_reports,
+        reduction_cycles,
+        cycles: slowest + reduction_cycles,
+        traffic,
+    }
+}
+
+/// Run partition segments back-to-back on a single core (one concatenated
+/// stream, so residency crosses segment boundaries), then pay the
+/// reduction.
+///
+/// # Panics
+///
+/// Panics if the segments' tensor tables differ (they must be compatible
+/// forks of one parent — see [`Schedule::append_compatible`]).
+pub fn run_sequential_partitions(
+    config: &NpuConfig,
+    segments: &[Schedule],
+    reduction: Option<StreamOp>,
+) -> MultiCoreReport {
+    let engine = Engine::new(config);
+    let report = match segments {
+        [] => SimReport::default(),
+        [single] => engine.run(single),
+        [first, rest @ ..] => {
+            let mut combined = first.clone();
+            for s in rest {
+                combined.append_compatible(s);
+            }
+            engine.run(&combined)
+        }
+    };
+    let mut traffic = report.traffic;
+    let reduction_cycles = reduction_cost(config, reduction, &mut traffic);
+    MultiCoreReport {
+        core_reports: vec![report],
+        reduction_cycles,
+        cycles: report.cycles + reduction_cycles,
+        traffic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TileOp;
+    use igo_tensor::{GemmShape, TensorClass, TileCoord};
+
+    fn schedule(tiles: u32) -> Schedule {
+        let mut s = Schedule::new("part");
+        let dy = s.add_tensor(TensorClass::OutGrad, "dY");
+        for j in 0..tiles {
+            s.push_gemm(TileOp::new(GemmShape::new(128, 128, 128)).read(
+                dy,
+                TileCoord::new(0, j),
+                128 * 128 * 4,
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn multicore_takes_slowest_core() {
+        let config = NpuConfig::large_server(2);
+        let fast = schedule(2);
+        let slow = schedule(20);
+        let r = run_multicore(&config, &[fast, slow], None);
+        assert_eq!(r.core_reports.len(), 2);
+        assert_eq!(
+            r.cycles,
+            r.core_reports.iter().map(|c| c.cycles).max().unwrap()
+        );
+        assert!(r.core_reports[0].cycles < r.core_reports[1].cycles);
+    }
+
+    #[test]
+    fn reduction_adds_cycles_and_traffic() {
+        let config = NpuConfig::large_server(2);
+        let parts = [schedule(4), schedule(4)];
+        let without = run_multicore(&config, &parts, None);
+        let with = run_multicore(
+            &config,
+            &parts,
+            Some(StreamOp {
+                class: TensorClass::WGrad,
+                read_bytes: 1 << 20,
+                write_bytes: 1 << 20,
+            }),
+        );
+        assert!(with.cycles > without.cycles);
+        assert_eq!(with.traffic.read(TensorClass::WGrad), 1 << 20);
+        assert!(with.reduction_cycles > 0);
+    }
+
+    #[test]
+    fn idle_cores_allowed() {
+        let config = NpuConfig::large_server(4);
+        let r = run_multicore(&config, &[schedule(4)], None);
+        assert_eq!(r.core_reports.len(), 1);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedules for")]
+    fn too_many_schedules_panics() {
+        let config = NpuConfig::large_single_core();
+        let _ = run_multicore(&config, &[schedule(1), schedule(1)], None);
+    }
+
+    #[test]
+    fn sequential_partitions_accumulate_time() {
+        let config = NpuConfig::large_single_core();
+        let parts = [schedule(400), schedule(400)];
+        let seq = run_sequential_partitions(&config, &parts, None);
+        let single = run_sequential_partitions(&config, &parts[..1], None);
+        assert!(seq.cycles > single.cycles);
+    }
+
+    #[test]
+    fn sequential_partitions_share_residency() {
+        // Two identical small segments (same tensor table, same tile
+        // keys): the second pass re-hits the first pass's tiles, so total
+        // traffic equals a single segment's.
+        let config = NpuConfig::large_single_core();
+        let parts = [schedule(4), schedule(4)];
+        let seq = run_sequential_partitions(&config, &parts, None);
+        let single = run_sequential_partitions(&config, &parts[..1], None);
+        assert_eq!(
+            seq.traffic.read_total(),
+            single.traffic.read_total(),
+            "second segment must hit in SPM"
+        );
+    }
+
+    #[test]
+    fn empty_reduction_is_free() {
+        let config = NpuConfig::large_single_core();
+        let r = run_sequential_partitions(
+            &config,
+            &[schedule(1)],
+            Some(StreamOp {
+                class: TensorClass::InGrad,
+                read_bytes: 0,
+                write_bytes: 0,
+            }),
+        );
+        assert_eq!(r.reduction_cycles, 0);
+    }
+
+    #[test]
+    fn empty_segments_are_free() {
+        let config = NpuConfig::large_single_core();
+        let r = run_sequential_partitions(&config, &[], None);
+        assert_eq!(r.cycles, 0);
+    }
+}

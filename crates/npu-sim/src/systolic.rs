@@ -1,0 +1,149 @@
+//! Weight-stationary systolic-array timing model.
+//!
+//! This is the SCALE-Sim-family analytical model for a tile GEMM
+//! `A(tm,tk) × B(tk,tn)` on an `R × C` array:
+//!
+//! * the `tk × tn` stationary operand is mapped onto the array in
+//!   `⌈tk/R⌉ · ⌈tn/C⌉` *folds*;
+//! * each fold streams the `tm` moving rows through the array while the
+//!   *next* fold's weights load into the PEs' shadow registers (TPU-style
+//!   in-PE weight double buffering), so a fold costs `max(tm, R)` cycles;
+//!
+//! Total: `folds × max(tm, R)` cycles per tile GEMM; the initial fill of
+//! the very first fold hides behind the previous tile operation. Pipeline
+//! fill/drain of the skewed wavefront is overlapped across consecutive
+//! tile operations (the array never sits idle between back-to-back
+//! GEMMs), so it does not appear per tile. The model is deliberately
+//! simple — the paper's findings hinge on the *memory* system, and all
+//! compared schedules perform the identical set of tile GEMMs, so any
+//! monotone compute model preserves the comparisons.
+
+use crate::config::PeArray;
+use igo_tensor::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// Analytical compute-time model for one systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicModel {
+    pe: PeArray,
+}
+
+impl SystolicModel {
+    /// Model an `R × C` array.
+    pub fn new(pe: PeArray) -> Self {
+        Self { pe }
+    }
+
+    /// The array being modelled.
+    pub fn pe(&self) -> PeArray {
+        self.pe
+    }
+
+    /// Number of weight folds needed for a `tk × tn` stationary operand.
+    pub fn folds(&self, tk: u64, tn: u64) -> u64 {
+        tk.div_ceil(self.pe.rows as u64) * tn.div_ceil(self.pe.cols as u64)
+    }
+
+    /// Cycles to execute the tile GEMM `tile` (`m×k · k×n`).
+    ///
+    /// ```
+    /// use igo_npu_sim::{SystolicModel, PeArray};
+    /// use igo_tensor::GemmShape;
+    ///
+    /// let m = SystolicModel::new(PeArray::new(128, 128));
+    /// // One fold: stream 128 rows (the weight fill is hidden).
+    /// assert_eq!(m.tile_cycles(GemmShape::new(128, 128, 128)), 128);
+    /// // Four folds for a 256x256 stationary operand.
+    /// assert_eq!(m.tile_cycles(GemmShape::new(128, 256, 256)), 4 * 128);
+    /// ```
+    pub fn tile_cycles(&self, tile: GemmShape) -> u64 {
+        let r = self.pe.rows as u64;
+        self.folds(tile.k(), tile.n()) * tile.m().max(r)
+    }
+
+    /// Utilisation of the array for this tile: useful MACs over
+    /// `cycles × R × C`. Always in `(0, 1]`.
+    pub fn utilization(&self, tile: GemmShape) -> f64 {
+        let cycles = self.tile_cycles(tile);
+        tile.macs() as f64 / (cycles as f64 * self.pe.macs_per_cycle() as f64)
+    }
+
+    /// The minimum cycles any schedule needs for `total_macs` multiply-
+    /// accumulates — the compute roofline used in report sanity checks.
+    pub fn roofline_cycles(&self, total_macs: u64) -> u64 {
+        total_macs.div_ceil(self.pe.macs_per_cycle())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> SystolicModel {
+        SystolicModel::new(PeArray::new(128, 128))
+    }
+
+    #[test]
+    fn single_fold_small_tile() {
+        // Anything with k<=R, n<=C is one fold.
+        let m = model();
+        assert_eq!(m.folds(1, 1), 1);
+        assert_eq!(m.folds(128, 128), 1);
+        assert_eq!(m.folds(129, 128), 2);
+        assert_eq!(m.folds(129, 129), 4);
+    }
+
+    #[test]
+    fn cycles_scale_with_moving_rows() {
+        let m = model();
+        let short = m.tile_cycles(GemmShape::new(8, 128, 128));
+        let tall = m.tile_cycles(GemmShape::new(1024, 128, 128));
+        // Below R=128 rows, a fold is pinned at the R-cycle weight load.
+        assert_eq!(short, 128);
+        assert_eq!(tall, 1024);
+    }
+
+    #[test]
+    fn utilization_peaks_for_full_tiles() {
+        let m = model();
+        let full = m.utilization(GemmShape::new(4096, 128, 128));
+        let tiny = m.utilization(GemmShape::new(8, 8, 8));
+        assert!(full > 0.99, "large-m full tile should be near peak, got {full}");
+        assert!(tiny < 0.01, "tiny tile wastes the array, got {tiny}");
+    }
+
+    #[test]
+    fn small_edge_array_model() {
+        let m = SystolicModel::new(PeArray::new(45, 45));
+        // One fold: stream 45 rows.
+        assert_eq!(m.tile_cycles(GemmShape::new(45, 45, 45)), 45);
+    }
+
+    #[test]
+    fn roofline_lower_bounds_tile_cycles() {
+        let m = model();
+        let t = GemmShape::new(512, 256, 384);
+        assert!(m.tile_cycles(t) >= m.roofline_cycles(t.macs()));
+    }
+
+    proptest! {
+        /// Compute time is monotone in every dimension.
+        #[test]
+        fn cycles_monotone(m1 in 1u64..600, k1 in 1u64..600, n1 in 1u64..600) {
+            let model = model();
+            let base = model.tile_cycles(GemmShape::new(m1, k1, n1));
+            prop_assert!(model.tile_cycles(GemmShape::new(m1 + 1, k1, n1)) >= base);
+            prop_assert!(model.tile_cycles(GemmShape::new(m1, k1 + 1, n1)) >= base);
+            prop_assert!(model.tile_cycles(GemmShape::new(m1, k1, n1 + 1)) >= base);
+        }
+
+        /// Utilisation never exceeds 1.
+        #[test]
+        fn utilization_bounded(m1 in 1u64..2000, k1 in 1u64..500, n1 in 1u64..500) {
+            let model = model();
+            let u = model.utilization(GemmShape::new(m1, k1, n1));
+            prop_assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Tile-operation streams: the contract between schedulers and the machine.
+//!
+//! A [`Schedule`] is an ordered stream of [`ScheduleOp`]s over a set of
+//! registered tensors. A [`TileOp`] is one tiled GEMM: it *reads* operand
+//! tiles, optionally *accumulates* into a result tile (read-modify-write in
+//! SPM), and performs a tile-GEMM of given dimensions on the systolic array.
+//! A [`StreamOp`] models non-GEMM data movement (e.g. cross-partition
+//! gradient reduction, element-wise activation backward) as a pure
+//! bandwidth cost.
+//!
+//! Schedules are *declarative* about data: the engine derives all DRAM
+//! traffic from tile residency, so two schedules performing the same tile
+//! GEMMs in different orders — the whole point of the paper — cost the same
+//! compute but different memory traffic.
+
+use igo_tensor::{GemmShape, TensorClass, TileCoord};
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of one tensor within a [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorId(u32);
+
+impl TensorId {
+    /// Build from a raw index (for tests and serialisation).
+    pub const fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A tile of one tensor: the unit of SPM residency.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TileKey {
+    /// The tensor this tile belongs to.
+    pub tensor: TensorId,
+    /// Grid coordinates within the tensor.
+    pub coord: TileCoord,
+}
+
+/// One tile access (operand read or accumulator touch) with its byte size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileAccess {
+    /// Which tile.
+    pub key: TileKey,
+    /// Clipped tile size in bytes.
+    pub bytes: u64,
+}
+
+/// One tiled GEMM operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileOp {
+    /// Operand tiles read by this op.
+    pub reads: Vec<TileAccess>,
+    /// Result tile this op accumulates into, if any.
+    pub acc: Option<TileAccess>,
+    /// Dimensions of the tile GEMM performed.
+    pub compute: GemmShape,
+}
+
+impl TileOp {
+    /// Start building a tile op that performs `compute`.
+    pub fn new(compute: GemmShape) -> Self {
+        Self {
+            reads: Vec::with_capacity(2),
+            acc: None,
+            compute,
+        }
+    }
+
+    /// Add an operand tile read.
+    #[must_use]
+    pub fn read(mut self, tensor: TensorId, coord: TileCoord, bytes: u64) -> Self {
+        self.reads.push(TileAccess {
+            key: TileKey { tensor, coord },
+            bytes,
+        });
+        self
+    }
+
+    /// Set the accumulator tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an accumulator was already set.
+    #[must_use]
+    pub fn accumulate(mut self, tensor: TensorId, coord: TileCoord, bytes: u64) -> Self {
+        assert!(self.acc.is_none(), "tile op already has an accumulator");
+        self.acc = Some(TileAccess {
+            key: TileKey { tensor, coord },
+            bytes,
+        });
+        self
+    }
+
+    /// Total operand bytes named by this op (independent of residency).
+    pub fn operand_bytes(&self) -> u64 {
+        self.reads.iter().map(|r| r.bytes).sum()
+    }
+
+    /// MACs performed.
+    pub fn macs(&self) -> u64 {
+        self.compute.macs()
+    }
+}
+
+/// A pure data-movement operation (no compute): used for cross-partition
+/// reductions and element-wise passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamOp {
+    /// Traffic class for accounting.
+    pub class: TensorClass,
+    /// Bytes read from DRAM.
+    pub read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub write_bytes: u64,
+}
+
+/// One element of a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleOp {
+    /// A tiled GEMM.
+    Gemm(TileOp),
+    /// Pure data movement.
+    Stream(StreamOp),
+    /// A kernel boundary: dirty results are flushed and SPM residency is
+    /// invalidated. Sequentially launched operations (the baseline's two
+    /// gradient GEMMs, XLA-style) are separated by barriers — data staged
+    /// by one kernel is not available to the next, which is exactly the
+    /// lost-reuse opportunity the interleaving transformation recovers.
+    Barrier,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TensorInfo {
+    class: TensorClass,
+    name: String,
+}
+
+/// An ordered stream of operations over registered tensors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    name: String,
+    tensors: Vec<TensorInfo>,
+    ops: Vec<ScheduleOp>,
+}
+
+impl Schedule {
+    /// Create an empty schedule.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tensors: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The schedule's name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Clone this schedule's tensor table into a new, empty schedule.
+    ///
+    /// Partition schedules must be built from forks of one parent so that a
+    /// tensor shared between partitions keeps a single identity: tiles of
+    /// the shared tensor then hit in SPM across partition boundaries, while
+    /// per-partition slices (different coordinates) stay distinct.
+    pub fn fork(&self, name: impl Into<String>) -> Schedule {
+        Schedule {
+            name: name.into(),
+            tensors: self.tensors.clone(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Register a tensor and get its id.
+    pub fn add_tensor(&mut self, class: TensorClass, name: impl Into<String>) -> TensorId {
+        let id = TensorId(self.tensors.len() as u32);
+        self.tensors.push(TensorInfo {
+            class,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Traffic class of a registered tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this schedule.
+    pub fn class_of(&self, id: TensorId) -> TensorClass {
+        self.tensors[id.0 as usize].class
+    }
+
+    /// Name of a registered tensor.
+    pub fn tensor_name(&self, id: TensorId) -> &str {
+        &self.tensors[id.0 as usize].name
+    }
+
+    /// Number of registered tensors.
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Append a tile GEMM.
+    pub fn push_gemm(&mut self, op: TileOp) {
+        debug_assert!(
+            op.reads
+                .iter()
+                .map(|r| r.key.tensor)
+                .chain(op.acc.iter().map(|a| a.key.tensor))
+                .all(|t| (t.0 as usize) < self.tensors.len()),
+            "tile op references unregistered tensor"
+        );
+        self.ops.push(ScheduleOp::Gemm(op));
+    }
+
+    /// Append a pure data-movement op.
+    pub fn push_stream(&mut self, op: StreamOp) {
+        self.ops.push(ScheduleOp::Stream(op));
+    }
+
+    /// Append a kernel boundary (see [`ScheduleOp::Barrier`]).
+    pub fn push_barrier(&mut self) {
+        self.ops.push(ScheduleOp::Barrier);
+    }
+
+    /// The operation stream.
+    pub fn ops(&self) -> &[ScheduleOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total MACs across all tile GEMMs — invariant under reordering, so
+    /// every transformation of a schedule must preserve this.
+    pub fn total_macs(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                ScheduleOp::Gemm(g) => g.macs(),
+                ScheduleOp::Stream(_) | ScheduleOp::Barrier => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes named by operand reads, ignoring residency (an upper
+    /// bound on read traffic).
+    pub fn named_read_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                ScheduleOp::Gemm(g) => g.operand_bytes(),
+                ScheduleOp::Stream(s) => s.read_bytes,
+                ScheduleOp::Barrier => 0,
+            })
+            .sum()
+    }
+
+    /// Append the ops of a schedule that shares this schedule's tensor
+    /// table verbatim (a fellow fork of the same, fully registered parent).
+    /// Tile identities are preserved, so residency carries across the
+    /// boundary — this is how sequential single-core partitions are chained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor tables differ.
+    pub fn append_compatible(&mut self, other: &Schedule) {
+        assert_eq!(
+            self.tensors, other.tensors,
+            "append_compatible requires identical tensor tables"
+        );
+        self.ops.extend(other.ops.iter().cloned());
+    }
+
+    /// Append all ops (and remap tensors) of `other` onto `self`,
+    /// returning nothing; used to chain per-partition schedules into one
+    /// sequential single-core stream.
+    pub fn extend_from(&mut self, other: &Schedule) {
+        let base = self.tensors.len() as u32;
+        self.tensors.extend(other.tensors.iter().cloned());
+        for op in &other.ops {
+            match op {
+                ScheduleOp::Gemm(g) => {
+                    let mut g = g.clone();
+                    for r in &mut g.reads {
+                        r.key.tensor = TensorId(r.key.tensor.0 + base);
+                    }
+                    if let Some(a) = &mut g.acc {
+                        a.key.tensor = TensorId(a.key.tensor.0 + base);
+                    }
+                    self.ops.push(ScheduleOp::Gemm(g));
+                }
+                ScheduleOp::Stream(s) => self.ops.push(ScheduleOp::Stream(*s)),
+                ScheduleOp::Barrier => self.ops.push(ScheduleOp::Barrier),
+            }
+        }
+    }
+
+    /// Iterate over distinct tile keys read as operands, with the bytes of
+    /// each (first occurrence wins). Useful for footprint statistics.
+    pub fn unique_operand_bytes(&self) -> u64 {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for op in &self.ops {
+            if let ScheduleOp::Gemm(g) = op {
+                for r in &g.reads {
+                    if seen.insert(r.key) {
+                        total += r.bytes;
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schedule() -> Schedule {
+        let mut s = Schedule::new("t");
+        let dy = s.add_tensor(TensorClass::OutGrad, "dY");
+        let w = s.add_tensor(TensorClass::Weight, "W");
+        let dx = s.add_tensor(TensorClass::InGrad, "dX");
+        for j in 0..4 {
+            s.push_gemm(
+                TileOp::new(GemmShape::new(16, 16, 16))
+                    .read(dy, TileCoord::new(0, j), 1024)
+                    .read(w, TileCoord::new(j, 0), 1024)
+                    .accumulate(dx, TileCoord::new(0, 0), 1024),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn tensor_registration_round_trips() {
+        let s = demo_schedule();
+        assert_eq!(s.num_tensors(), 3);
+        assert_eq!(s.class_of(TensorId::from_raw(0)), TensorClass::OutGrad);
+        assert_eq!(s.tensor_name(TensorId::from_raw(1)), "W");
+    }
+
+    #[test]
+    fn macs_sum_over_ops() {
+        let s = demo_schedule();
+        assert_eq!(s.total_macs(), 4 * 16 * 16 * 16);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn named_vs_unique_reads() {
+        let s = demo_schedule();
+        // 4 ops x 2 reads x 1 KiB named; all 8 keys distinct.
+        assert_eq!(s.named_read_bytes(), 8 * 1024);
+        assert_eq!(s.unique_operand_bytes(), 8 * 1024);
+    }
+
+    #[test]
+    fn extend_remaps_tensor_ids() {
+        let mut a = demo_schedule();
+        let b = demo_schedule();
+        a.extend_from(&b);
+        assert_eq!(a.num_tensors(), 6);
+        assert_eq!(a.len(), 8);
+        // The second half's tile keys must not collide with the first's.
+        assert_eq!(a.unique_operand_bytes(), 16 * 1024);
+        assert_eq!(a.total_macs(), 2 * 4 * 16 * 16 * 16);
+    }
+
+    #[test]
+    fn stream_ops_carry_traffic_only() {
+        let mut s = Schedule::new("r");
+        s.push_stream(StreamOp {
+            class: TensorClass::WGrad,
+            read_bytes: 100,
+            write_bytes: 50,
+        });
+        assert_eq!(s.total_macs(), 0);
+        assert_eq!(s.named_read_bytes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an accumulator")]
+    fn double_accumulator_panics() {
+        let mut s = Schedule::new("x");
+        let t = s.add_tensor(TensorClass::InGrad, "dX");
+        let _ = TileOp::new(GemmShape::new(1, 1, 1))
+            .accumulate(t, TileCoord::new(0, 0), 4)
+            .accumulate(t, TileCoord::new(0, 1), 4);
+    }
+}

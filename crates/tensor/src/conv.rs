@@ -1,0 +1,287 @@
+//! Convolution layers and their im2col lowering to GEMM.
+//!
+//! The paper (§2.1, §6.1) assumes "all convolution layer computations are
+//! transformed into GEMM operations by applying im2col". For a convolution
+//! with batch `B`, input channels `C`, output channels `F`, kernel
+//! `KH x KW`, and output spatial size `OH x OW`, the lowered GEMM is
+//!
+//! ```text
+//!   X(M,K) × W(K,N) → Y(M,N)
+//!   M = B · OH · OW      (one row per output pixel per image)
+//!   K = C · KH · KW      (one column per receptive-field element)
+//!   N = F                (one output column per filter)
+//! ```
+//!
+//! Grouped (depthwise) convolutions lower to `groups` independent GEMMs; we
+//! expose the per-group GEMM plus the group count so schedulers can account
+//! for the replication.
+
+use crate::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// Shape of a (possibly grouped) 2-D convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvShape {
+    /// Batch size `B`.
+    pub batch: u64,
+    /// Input channels `C` (total, across groups).
+    pub in_channels: u64,
+    /// Input spatial height.
+    pub in_h: u64,
+    /// Input spatial width.
+    pub in_w: u64,
+    /// Output channels `F` (total, across groups).
+    pub out_channels: u64,
+    /// Kernel height.
+    pub kernel_h: u64,
+    /// Kernel width.
+    pub kernel_w: u64,
+    /// Stride (same in both spatial dims).
+    pub stride: u64,
+    /// Symmetric zero padding.
+    pub padding: u64,
+    /// Convolution groups (`1` = dense, `in_channels` = depthwise).
+    pub groups: u64,
+}
+
+impl ConvShape {
+    /// A dense (ungrouped) convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent or the stride is zero, or the kernel (plus
+    /// padding) does not fit in the input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        batch: u64,
+        in_channels: u64,
+        in_h: u64,
+        in_w: u64,
+        out_channels: u64,
+        kernel: u64,
+        stride: u64,
+        padding: u64,
+    ) -> Self {
+        Self::grouped(
+            batch,
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            1,
+        )
+    }
+
+    /// A grouped convolution (`groups == in_channels` models depthwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero extents, zero stride/groups, indivisible channel
+    /// counts, or a kernel larger than the padded input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn grouped(
+        batch: u64,
+        in_channels: u64,
+        in_h: u64,
+        in_w: u64,
+        out_channels: u64,
+        kernel: u64,
+        stride: u64,
+        padding: u64,
+        groups: u64,
+    ) -> Self {
+        assert!(batch > 0 && in_channels > 0 && in_h > 0 && in_w > 0, "zero input extent");
+        assert!(out_channels > 0 && kernel > 0 && stride > 0 && groups > 0, "zero parameter");
+        assert!(
+            in_channels.is_multiple_of(groups) && out_channels.is_multiple_of(groups),
+            "channels ({in_channels}->{out_channels}) must divide groups ({groups})"
+        );
+        assert!(
+            in_h + 2 * padding >= kernel && in_w + 2 * padding >= kernel,
+            "kernel {kernel} larger than padded input {in_h}x{in_w}+{padding}"
+        );
+        Self {
+            batch,
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+            groups,
+        }
+    }
+
+    /// Output spatial height: `⌊(H + 2P − KH)/S⌋ + 1`.
+    pub fn out_h(&self) -> u64 {
+        (self.in_h + 2 * self.padding - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output spatial width: `⌊(W + 2P − KW)/S⌋ + 1`.
+    pub fn out_w(&self) -> u64 {
+        (self.in_w + 2 * self.padding - self.kernel_w) / self.stride + 1
+    }
+
+    /// Trainable parameter count (`C/g · KH · KW · F`).
+    pub fn params(&self) -> u64 {
+        (self.in_channels / self.groups) * self.kernel_h * self.kernel_w * self.out_channels
+    }
+
+    /// The im2col GEMM of **one group**.
+    ///
+    /// For dense convolutions (`groups == 1`) this is the whole layer. For
+    /// grouped convolutions, the layer executes [`ConvShape::groups`] copies
+    /// of this GEMM.
+    ///
+    /// ```
+    /// use igo_tensor::ConvShape;
+    /// // ResNet-50 conv1: 3->64, 7x7/2, 224x224 input, batch 8.
+    /// let c = ConvShape::new(8, 3, 224, 224, 64, 7, 2, 3);
+    /// let g = c.to_gemm();
+    /// assert_eq!(g.m(), 8 * 112 * 112);
+    /// assert_eq!(g.k(), 3 * 7 * 7);
+    /// assert_eq!(g.n(), 64);
+    /// ```
+    pub fn to_gemm(&self) -> GemmShape {
+        let m = self.batch * self.out_h() * self.out_w();
+        let k = (self.in_channels / self.groups) * self.kernel_h * self.kernel_w;
+        let n = self.out_channels / self.groups;
+        GemmShape::new(m, k, n)
+    }
+
+    /// Forward MAC count across all groups.
+    pub fn macs(&self) -> u64 {
+        self.to_gemm().macs() * self.groups
+    }
+
+    /// Ratio of the *raw* (NCHW) input-feature-map bytes to the im2col
+    /// matrix bytes, clamped to 1.
+    ///
+    /// The im2col lowering replicates each input pixel once per receptive
+    /// field that covers it, but the tensor stored in DRAM is the raw
+    /// feature map (the paper adopts PyTorch's data layout, §6.1) and the
+    /// replication happens on the fly while staging tiles. DRAM traffic
+    /// for `X` — and for the `dX` written back through col2im — therefore
+    /// costs `density × im2col bytes` with
+    /// `density = (IH·IW) / (OH·OW·KH·KW)`, e.g. `1/9` for a stride-1 3×3
+    /// convolution. Fully-connected layers have density 1.
+    pub fn ifmap_density(&self) -> f64 {
+        let raw = (self.in_h * self.in_w) as f64;
+        let expanded = (self.out_h() * self.out_w() * self.kernel_h * self.kernel_w) as f64;
+        (raw / expanded).min(1.0)
+    }
+}
+
+impl core::fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "conv {}x{}s{} {}→{} @{}x{} (B={}, g={})",
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.in_channels,
+            self.out_channels,
+            self.in_h,
+            self.in_w,
+            self.batch,
+            self.groups
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_conv1_output_size() {
+        let c = ConvShape::new(1, 3, 224, 224, 64, 7, 2, 3);
+        assert_eq!(c.out_h(), 112);
+        assert_eq!(c.out_w(), 112);
+    }
+
+    #[test]
+    fn same_padding_3x3_preserves_size() {
+        let c = ConvShape::new(4, 64, 56, 56, 64, 3, 1, 1);
+        assert_eq!(c.out_h(), 56);
+        assert_eq!(c.out_w(), 56);
+        let g = c.to_gemm();
+        assert_eq!(g.m(), 4 * 56 * 56);
+        assert_eq!(g.k(), 64 * 9);
+        assert_eq!(g.n(), 64);
+    }
+
+    #[test]
+    fn pointwise_conv_is_channel_gemm() {
+        let c = ConvShape::new(2, 128, 14, 14, 256, 1, 1, 0);
+        let g = c.to_gemm();
+        assert_eq!((g.m(), g.k(), g.n()), (2 * 14 * 14, 128, 256));
+    }
+
+    #[test]
+    fn depthwise_groups() {
+        let c = ConvShape::grouped(1, 32, 112, 112, 32, 3, 1, 1, 32);
+        let g = c.to_gemm();
+        assert_eq!((g.k(), g.n()), (9, 1));
+        assert_eq!(c.params(), 9 * 32);
+        assert_eq!(c.macs(), 32 * (112 * 112 * 9));
+    }
+
+    #[test]
+    fn params_count() {
+        let c = ConvShape::new(1, 64, 56, 56, 128, 3, 1, 1);
+        assert_eq!(c.params(), 64 * 9 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn oversized_kernel_panics() {
+        let _ = ConvShape::new(1, 3, 4, 4, 8, 7, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups")]
+    fn indivisible_groups_panic() {
+        let _ = ConvShape::grouped(1, 10, 8, 8, 10, 3, 1, 1, 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let c = ConvShape::new(1, 3, 8, 8, 8, 3, 1, 1);
+        assert!(c.to_string().contains("conv"));
+    }
+
+    #[test]
+    fn ifmap_density_stride1_3x3() {
+        // Same-padded stride-1 3x3: every pixel replicated 9x.
+        let c = ConvShape::new(4, 64, 56, 56, 64, 3, 1, 1);
+        assert!((c.ifmap_density() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ifmap_density_pointwise_is_one() {
+        let c = ConvShape::new(2, 128, 14, 14, 256, 1, 1, 0);
+        assert_eq!(c.ifmap_density(), 1.0);
+    }
+
+    #[test]
+    fn ifmap_density_strided_pointwise_clamps() {
+        // 1x1 stride 2 touches a quarter of the pixels; traffic is capped
+        // at the im2col footprint, never above.
+        let c = ConvShape::new(2, 128, 14, 14, 256, 1, 2, 0);
+        assert_eq!(c.ifmap_density(), 1.0);
+    }
+
+    #[test]
+    fn ifmap_density_resnet_stem() {
+        // 7x7 stride-2 with padding 3: 224^2 / (112^2 * 49) = 4/49.
+        let c = ConvShape::new(8, 3, 224, 224, 64, 7, 2, 3);
+        assert!((c.ifmap_density() - 4.0 / 49.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Element data types and their byte widths.
+//!
+//! The paper's evaluation never states a training precision; we default to
+//! 32-bit floats everywhere (the conservative choice for training-era NPUs
+//! like TPUv2/v3, which accumulate in fp32). The simulator is parameterised
+//! over [`DataType`] so mixed-precision what-if experiments are possible.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a tensor stored in SPM / DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DataType {
+    /// IEEE-754 single precision (4 bytes). The evaluation default.
+    #[default]
+    F32,
+    /// bfloat16 (2 bytes).
+    Bf16,
+    /// IEEE-754 half precision (2 bytes).
+    F16,
+    /// 8-bit integer (1 byte) — inference-style quantisation.
+    I8,
+}
+
+impl DataType {
+    /// Width of one element in bytes.
+    ///
+    /// ```
+    /// use igo_tensor::DataType;
+    /// assert_eq!(DataType::F32.bytes(), 4);
+    /// assert_eq!(DataType::Bf16.bytes(), 2);
+    /// ```
+    pub const fn bytes(self) -> u64 {
+        match self {
+            DataType::F32 => 4,
+            DataType::Bf16 | DataType::F16 => 2,
+            DataType::I8 => 1,
+        }
+    }
+
+    /// Total size in bytes of a matrix of `rows x cols` elements of this type.
+    pub const fn matrix_bytes(self, rows: u64, cols: u64) -> u64 {
+        rows * cols * self.bytes()
+    }
+}
+
+impl core::fmt::Display for DataType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            DataType::F32 => "f32",
+            DataType::Bf16 => "bf16",
+            DataType::F16 => "f16",
+            DataType::I8 => "i8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(DataType::F32.bytes(), 4);
+        assert_eq!(DataType::Bf16.bytes(), 2);
+        assert_eq!(DataType::F16.bytes(), 2);
+        assert_eq!(DataType::I8.bytes(), 1);
+    }
+
+    #[test]
+    fn matrix_bytes_multiplies_out() {
+        assert_eq!(DataType::F32.matrix_bytes(128, 128), 128 * 128 * 4);
+        assert_eq!(DataType::I8.matrix_bytes(3, 5), 15);
+        assert_eq!(DataType::F32.matrix_bytes(0, 10), 0);
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(DataType::default(), DataType::F32);
+    }
+}

@@ -1,0 +1,384 @@
+//! Forward GEMM shapes and their derived backward GEMMs.
+//!
+//! Following the paper's notation (Table 1 and Eq. (1)/(2)), the forward pass
+//! of a trainable layer is the GEMM
+//!
+//! ```text
+//!   X(M,K) × W(K,N) → Y(M,N)
+//! ```
+//!
+//! and the backward pass computes two *independent* GEMMs that share the
+//! output gradient `dY(M,N)` as an operand:
+//!
+//! ```text
+//!   dX(M,K) = dY(M,N) × Wᵀ(N,K)        (Eq. 1)
+//!   dW(K,N) = Xᵀ(K,M) × dY(M,N)        (Eq. 2)
+//! ```
+//!
+//! [`GemmShape`] carries `(M,K,N)` of the *forward* GEMM; the backward GEMMs
+//! and every tensor footprint are derived from it. This mirrors how the
+//! paper's Algorithm 1 reasons purely in terms of the forward `(M,K,N)`.
+
+use crate::{DataType, TileGrid, TileShape};
+use serde::{Deserialize, Serialize};
+
+/// Plain `rows x cols` dimensions of one matrix operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatrixDims {
+    /// Number of rows.
+    pub rows: u64,
+    /// Number of columns.
+    pub cols: u64,
+}
+
+impl MatrixDims {
+    /// Create matrix dimensions.
+    pub const fn new(rows: u64, cols: u64) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Element count (`rows * cols`).
+    pub const fn elems(self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Byte footprint for elements of type `dtype`.
+    pub const fn bytes(self, dtype: DataType) -> u64 {
+        dtype.matrix_bytes(self.rows, self.cols)
+    }
+
+    /// Transposed dimensions.
+    pub const fn transposed(self) -> Self {
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+        }
+    }
+}
+
+impl core::fmt::Display for MatrixDims {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// The `(M, K, N)` of a forward GEMM `X(M,K) × W(K,N) → Y(M,N)`.
+///
+/// # Panics
+///
+/// Constructors panic on zero dimensions: a zero-sized GEMM has no meaning in
+/// the scheduling space and would otherwise silently produce empty schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    m: u64,
+    k: u64,
+    n: u64,
+}
+
+impl GemmShape {
+    /// Create a forward GEMM shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `m`, `k`, `n` is zero.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dims must be positive: ({m},{k},{n})");
+        Self { m, k, n }
+    }
+
+    /// `M`: rows of `X`, rows of `Y` (the batch-times-spatial dimension).
+    pub const fn m(self) -> u64 {
+        self.m
+    }
+
+    /// `K`: cols of `X`, rows of `W` (the reduction dimension).
+    pub const fn k(self) -> u64 {
+        self.k
+    }
+
+    /// `N`: cols of `W`, cols of `Y` (the output-channel dimension).
+    pub const fn n(self) -> u64 {
+        self.n
+    }
+
+    /// Dimensions of the input feature map `X(M,K)`.
+    pub const fn x_dims(self) -> MatrixDims {
+        MatrixDims::new(self.m, self.k)
+    }
+
+    /// Dimensions of the weights `W(K,N)`.
+    pub const fn w_dims(self) -> MatrixDims {
+        MatrixDims::new(self.k, self.n)
+    }
+
+    /// Dimensions of the output feature map `Y(M,N)` — and of `dY`.
+    pub const fn y_dims(self) -> MatrixDims {
+        MatrixDims::new(self.m, self.n)
+    }
+
+    /// Dimensions of the input gradient `dX(M,K)` — same as `X`.
+    pub const fn dx_dims(self) -> MatrixDims {
+        self.x_dims()
+    }
+
+    /// Dimensions of the weight gradient `dW(K,N)` — same as `W`.
+    pub const fn dw_dims(self) -> MatrixDims {
+        self.w_dims()
+    }
+
+    /// Dimensions of the output gradient `dY(M,N)` — same as `Y`.
+    pub const fn dy_dims(self) -> MatrixDims {
+        self.y_dims()
+    }
+
+    /// The backward GEMM computing `dX = dY × Wᵀ`, expressed as a forward
+    /// shape: `dY(M,N) × Wᵀ(N,K) → dX(M,K)` is `(m=M, k=N, n=K)`.
+    pub fn dx_gemm(self) -> GemmShape {
+        GemmShape::new(self.m, self.n, self.k)
+    }
+
+    /// The backward GEMM computing `dW = Xᵀ × dY`, expressed as a forward
+    /// shape: `Xᵀ(K,M) × dY(M,N) → dW(K,N)` is `(m=K, k=M, n=N)`.
+    pub fn dw_gemm(self) -> GemmShape {
+        GemmShape::new(self.k, self.m, self.n)
+    }
+
+    /// Multiply–accumulate count of the forward GEMM (`M·K·N`).
+    pub const fn macs(self) -> u64 {
+        self.m * self.k * self.n
+    }
+
+    /// MAC count of the whole backward pass (`dX` + `dW` GEMMs): `2·M·K·N`.
+    pub const fn backward_macs(self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Output rows (`M`).
+    pub const fn out_rows(self) -> u64 {
+        self.m
+    }
+
+    /// Output cols (`N`).
+    pub const fn out_cols(self) -> u64 {
+        self.n
+    }
+
+    /// Largest of `(M, K, N)`.
+    pub fn max_dim(self) -> u64 {
+        self.m.max(self.k).max(self.n)
+    }
+
+    /// Smallest of `(M, K, N)`.
+    pub fn min_dim(self) -> u64 {
+        self.m.min(self.k).min(self.n)
+    }
+
+    /// Aspect ratio `max_dim / min_dim` as a float.
+    pub fn aspect_ratio(self) -> f64 {
+        self.max_dim() as f64 / self.min_dim() as f64
+    }
+
+    /// The paper's `AlmostSquareComputation()` predicate (Algorithm 1):
+    /// true when `max(M,N,K) / min(M,N,K) < threshold`. The paper classifies a
+    /// computation as nearly square when "the largest dimension is less than
+    /// four times the smallest dimension", i.e. `threshold == 4.0`.
+    ///
+    /// ```
+    /// use igo_tensor::GemmShape;
+    /// assert!(GemmShape::new(512, 256, 512).is_almost_square(4.0));
+    /// assert!(!GemmShape::new(8, 512, 512).is_almost_square(4.0));
+    /// ```
+    pub fn is_almost_square(self, threshold: f64) -> bool {
+        self.aspect_ratio() < threshold
+    }
+
+    /// Total DRAM footprint in bytes of one *forward* pass at `dtype`
+    /// (read `X`, read `W`, write `Y`) assuming zero reuse — an upper bound
+    /// used only for sanity reporting.
+    pub fn forward_footprint_bytes(self, dtype: DataType) -> u64 {
+        self.x_dims().bytes(dtype) + self.w_dims().bytes(dtype) + self.y_dims().bytes(dtype)
+    }
+
+    /// Total DRAM footprint in bytes of one *backward* pass at `dtype`
+    /// reading each operand once (X, W, dY) and writing each result once
+    /// (dX, dW). The paper's Figure 5 ratios are computed against this kind
+    /// of per-class accounting.
+    pub fn backward_footprint_bytes(self, dtype: DataType) -> u64 {
+        self.x_dims().bytes(dtype)
+            + self.w_dims().bytes(dtype)
+            + self.dy_dims().bytes(dtype)
+            + self.dx_dims().bytes(dtype)
+            + self.dw_dims().bytes(dtype)
+    }
+
+    /// Tile grid over `Y` / `dY` (an `M x N` matrix).
+    pub fn dy_grid(self, tile: TileShape) -> TileGrid {
+        TileGrid::new(self.y_dims(), tile)
+    }
+
+    /// Tile grid over `X` / `dX` (an `M x K` matrix).
+    pub fn dx_grid(self, tile: TileShape) -> TileGrid {
+        TileGrid::new(self.x_dims(), tile)
+    }
+
+    /// Tile grid over `W` / `dW` (a `K x N` matrix).
+    pub fn dw_grid(self, tile: TileShape) -> TileGrid {
+        TileGrid::new(self.w_dims(), tile)
+    }
+
+    /// Split this GEMM along one dimension into `parts` nearly equal pieces.
+    ///
+    /// Returns one shape per non-empty piece (ceil-divided; the last piece
+    /// may be smaller). This is the primitive under the paper's three
+    /// partitioning schemes (§5): weight-sharing splits `M`, dY-sharing
+    /// splits `N`, ifmap-sharing splits `K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn split(self, dim: GemmDim, parts: u64) -> Vec<GemmShape> {
+        assert!(parts > 0, "cannot split into zero parts");
+        let total = match dim {
+            GemmDim::M => self.m,
+            GemmDim::K => self.k,
+            GemmDim::N => self.n,
+        };
+        let chunk = total.div_ceil(parts);
+        let mut out = Vec::new();
+        let mut remaining = total;
+        while remaining > 0 {
+            let this = chunk.min(remaining);
+            out.push(match dim {
+                GemmDim::M => GemmShape::new(this, self.k, self.n),
+                GemmDim::K => GemmShape::new(self.m, this, self.n),
+                GemmDim::N => GemmShape::new(self.m, self.k, this),
+            });
+            remaining -= this;
+        }
+        out
+    }
+}
+
+impl core::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "(M={}, K={}, N={})", self.m, self.k, self.n)
+    }
+}
+
+/// One of the three GEMM dimensions — the axis a partitioning scheme splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GemmDim {
+    /// The batch-times-spatial dimension (rows of `X` and `Y`).
+    M,
+    /// The reduction dimension (cols of `X`, rows of `W`).
+    K,
+    /// The output-channel dimension (cols of `W` and `Y`).
+    N,
+}
+
+impl core::fmt::Display for GemmDim {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            GemmDim::M => "M",
+            GemmDim::K => "K",
+            GemmDim::N => "N",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_gemms_follow_eq1_eq2() {
+        let g = GemmShape::new(64, 32, 128);
+        // dX = dY(M,N) x W^T(N,K): m=M=64, k=N=128, n=K=32
+        let dx = g.dx_gemm();
+        assert_eq!((dx.m(), dx.k(), dx.n()), (64, 128, 32));
+        // dW = X^T(K,M) x dY(M,N): m=K=32, k=M=64, n=N=128
+        let dw = g.dw_gemm();
+        assert_eq!((dw.m(), dw.k(), dw.n()), (32, 64, 128));
+    }
+
+    #[test]
+    fn backward_macs_are_twice_forward() {
+        let g = GemmShape::new(10, 20, 30);
+        assert_eq!(g.macs(), 6000);
+        assert_eq!(g.dx_gemm().macs(), g.macs());
+        assert_eq!(g.dw_gemm().macs(), g.macs());
+        assert_eq!(g.backward_macs(), 2 * g.macs());
+    }
+
+    #[test]
+    fn almost_square_threshold_matches_paper() {
+        // Paper: nearly square iff max/min < 4.
+        assert!(GemmShape::new(100, 100, 100).is_almost_square(4.0));
+        assert!(GemmShape::new(100, 399, 100).is_almost_square(4.0));
+        assert!(!GemmShape::new(100, 400, 100).is_almost_square(4.0));
+        assert!(!GemmShape::new(8, 1024, 1024).is_almost_square(4.0));
+    }
+
+    #[test]
+    fn footprints_count_each_tensor_once() {
+        let g = GemmShape::new(4, 8, 16);
+        let dt = DataType::F32;
+        assert_eq!(
+            g.backward_footprint_bytes(dt),
+            (4 * 8 + 8 * 16 + 4 * 16 + 4 * 8 + 8 * 16) * 4
+        );
+        assert_eq!(g.forward_footprint_bytes(dt), (4 * 8 + 8 * 16 + 4 * 16) * 4);
+    }
+
+    #[test]
+    fn split_m_covers_total() {
+        let g = GemmShape::new(100, 7, 9);
+        let parts = g.split(GemmDim::M, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(|p| p.m()).sum::<u64>(), 100);
+        assert!(parts.iter().all(|p| p.k() == 7 && p.n() == 9));
+        // ceil(100/3) = 34 -> 34, 34, 32
+        assert_eq!(parts[0].m(), 34);
+        assert_eq!(parts[2].m(), 32);
+    }
+
+    #[test]
+    fn split_k_and_n_cover_total() {
+        let g = GemmShape::new(5, 100, 64);
+        let kp = g.split(GemmDim::K, 4);
+        assert_eq!(kp.iter().map(|p| p.k()).sum::<u64>(), 100);
+        assert!(kp.iter().all(|p| p.m() == 5 && p.n() == 64));
+        let np = g.split(GemmDim::N, 2);
+        assert_eq!(np.iter().map(|p| p.n()).sum::<u64>(), 64);
+        assert!(np.iter().all(|p| p.m() == 5 && p.k() == 100));
+    }
+
+    #[test]
+    fn split_more_parts_than_extent_yields_fewer_parts() {
+        let g = GemmShape::new(3, 10, 10);
+        let parts = g.split(GemmDim::M, 8);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.m() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_panics() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GemmShape::new(1, 2, 3).to_string(), "(M=1, K=2, N=3)");
+        assert_eq!(MatrixDims::new(4, 5).to_string(), "4x5");
+        assert_eq!(GemmDim::K.to_string(), "K");
+    }
+
+    #[test]
+    fn matrix_dims_transpose() {
+        let d = MatrixDims::new(3, 7);
+        assert_eq!(d.transposed(), MatrixDims::new(7, 3));
+        assert_eq!(d.elems(), 21);
+    }
+}

@@ -1,0 +1,311 @@
+//! Tile decomposition of matrices.
+//!
+//! The SPM is far smaller than the tensors of a training step, so every
+//! matrix is processed at *tile* granularity (paper §2.3, §4.2). A
+//! [`TileGrid`] partitions a `rows x cols` matrix into a grid of tiles of a
+//! nominal [`TileShape`]; edge tiles are clipped ("ragged"), so the grid
+//! covers the matrix exactly and without overlap — a property the test suite
+//! checks exhaustively and by property testing.
+
+use crate::{DataType, MatrixDims};
+use serde::{Deserialize, Serialize};
+
+/// Nominal tile dimensions (rows x cols), before edge clipping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileShape {
+    /// Nominal tile rows.
+    pub rows: u64,
+    /// Nominal tile cols.
+    pub cols: u64,
+}
+
+impl TileShape {
+    /// Create a tile shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero.
+    pub fn new(rows: u64, cols: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "tile extents must be positive");
+        Self { rows, cols }
+    }
+
+    /// A square tile `side x side`.
+    pub fn square(side: u64) -> Self {
+        Self::new(side, side)
+    }
+
+    /// Byte footprint of a *full* (unclipped) tile at `dtype`.
+    pub const fn bytes(self, dtype: DataType) -> u64 {
+        dtype.matrix_bytes(self.rows, self.cols)
+    }
+}
+
+impl core::fmt::Display for TileShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Grid coordinates of one tile within a [`TileGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TileCoord {
+    /// Tile-row index (0-based).
+    pub r: u32,
+    /// Tile-column index (0-based).
+    pub c: u32,
+}
+
+impl TileCoord {
+    /// Create a coordinate.
+    pub const fn new(r: u32, c: u32) -> Self {
+        Self { r, c }
+    }
+}
+
+impl core::fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({},{})", self.r, self.c)
+    }
+}
+
+/// Decomposition of a matrix into a grid of tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileGrid {
+    matrix: MatrixDims,
+    tile: TileShape,
+    tile_rows: u32,
+    tile_cols: u32,
+}
+
+impl TileGrid {
+    /// Build the grid covering `matrix` with tiles of nominal shape `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile-count along either axis overflows `u32`
+    /// (a matrix would need > 4·10⁹ tiles on one axis — far beyond any
+    /// realistic workload).
+    pub fn new(matrix: MatrixDims, tile: TileShape) -> Self {
+        let tile_rows = matrix.rows.div_ceil(tile.rows);
+        let tile_cols = matrix.cols.div_ceil(tile.cols);
+        assert!(
+            tile_rows <= u32::MAX as u64 && tile_cols <= u32::MAX as u64,
+            "tile grid too large: {tile_rows}x{tile_cols}"
+        );
+        Self {
+            matrix,
+            tile,
+            tile_rows: tile_rows as u32,
+            tile_cols: tile_cols as u32,
+        }
+    }
+
+    /// The matrix this grid covers.
+    pub const fn matrix(&self) -> MatrixDims {
+        self.matrix
+    }
+
+    /// The nominal tile shape.
+    pub const fn tile(&self) -> TileShape {
+        self.tile
+    }
+
+    /// Number of tile rows.
+    pub const fn rows(&self) -> u32 {
+        self.tile_rows
+    }
+
+    /// Number of tile columns.
+    pub const fn cols(&self) -> u32 {
+        self.tile_cols
+    }
+
+    /// Total number of tiles.
+    pub const fn num_tiles(&self) -> u64 {
+        self.tile_rows as u64 * self.tile_cols as u64
+    }
+
+    /// Actual (clipped) dimensions of the tile at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` lies outside the grid.
+    pub fn tile_dims(&self, coord: TileCoord) -> MatrixDims {
+        assert!(
+            coord.r < self.tile_rows && coord.c < self.tile_cols,
+            "tile {coord} outside {}x{} grid",
+            self.tile_rows,
+            self.tile_cols
+        );
+        let row_start = coord.r as u64 * self.tile.rows;
+        let col_start = coord.c as u64 * self.tile.cols;
+        MatrixDims::new(
+            self.tile.rows.min(self.matrix.rows - row_start),
+            self.tile.cols.min(self.matrix.cols - col_start),
+        )
+    }
+
+    /// Byte footprint of the (clipped) tile at `coord` for elements of
+    /// `dtype`.
+    pub fn tile_bytes(&self, coord: TileCoord, dtype: DataType) -> u64 {
+        self.tile_dims(coord).bytes(dtype)
+    }
+
+    /// Iterate all coordinates in row-major order (row 0 left→right, then
+    /// row 1, ...).
+    pub fn iter_row_major(&self) -> impl Iterator<Item = TileCoord> + '_ {
+        let (rows, cols) = (self.tile_rows, self.tile_cols);
+        (0..rows).flat_map(move |r| (0..cols).map(move |c| TileCoord::new(r, c)))
+    }
+
+    /// Iterate all coordinates in column-major order (col 0 top→bottom, then
+    /// col 1, ...).
+    pub fn iter_col_major(&self) -> impl Iterator<Item = TileCoord> + '_ {
+        let (rows, cols) = (self.tile_rows, self.tile_cols);
+        (0..cols).flat_map(move |c| (0..rows).map(move |r| TileCoord::new(r, c)))
+    }
+
+    /// Sum of the clipped byte footprints of all tiles — always equal to the
+    /// byte footprint of the matrix itself (exact cover).
+    pub fn total_bytes(&self, dtype: DataType) -> u64 {
+        self.iter_row_major()
+            .map(|c| self.tile_bytes(c, dtype))
+            .sum()
+    }
+}
+
+impl core::fmt::Display for TileGrid {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} in {} tiles ({}x{})",
+            self.matrix, self.tile, self.tile_rows, self.tile_cols
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_division() {
+        let g = TileGrid::new(MatrixDims::new(256, 512), TileShape::square(128));
+        assert_eq!((g.rows(), g.cols()), (2, 4));
+        assert_eq!(g.num_tiles(), 8);
+        assert_eq!(g.tile_dims(TileCoord::new(1, 3)), MatrixDims::new(128, 128));
+    }
+
+    #[test]
+    fn ragged_edges_are_clipped() {
+        let g = TileGrid::new(MatrixDims::new(300, 130), TileShape::square(128));
+        assert_eq!((g.rows(), g.cols()), (3, 2));
+        assert_eq!(g.tile_dims(TileCoord::new(0, 0)), MatrixDims::new(128, 128));
+        assert_eq!(g.tile_dims(TileCoord::new(2, 0)), MatrixDims::new(44, 128));
+        assert_eq!(g.tile_dims(TileCoord::new(0, 1)), MatrixDims::new(128, 2));
+        assert_eq!(g.tile_dims(TileCoord::new(2, 1)), MatrixDims::new(44, 2));
+    }
+
+    #[test]
+    fn tiny_matrix_single_tile() {
+        let g = TileGrid::new(MatrixDims::new(8, 13), TileShape::square(128));
+        assert_eq!(g.num_tiles(), 1);
+        assert_eq!(g.tile_dims(TileCoord::new(0, 0)), MatrixDims::new(8, 13));
+    }
+
+    #[test]
+    fn row_major_order() {
+        let g = TileGrid::new(MatrixDims::new(200, 300), TileShape::square(100));
+        let order: Vec<_> = g.iter_row_major().collect();
+        assert_eq!(
+            order,
+            vec![
+                TileCoord::new(0, 0),
+                TileCoord::new(0, 1),
+                TileCoord::new(0, 2),
+                TileCoord::new(1, 0),
+                TileCoord::new(1, 1),
+                TileCoord::new(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn col_major_order() {
+        let g = TileGrid::new(MatrixDims::new(200, 300), TileShape::square(100));
+        let order: Vec<_> = g.iter_col_major().collect();
+        assert_eq!(
+            order,
+            vec![
+                TileCoord::new(0, 0),
+                TileCoord::new(1, 0),
+                TileCoord::new(0, 1),
+                TileCoord::new(1, 1),
+                TileCoord::new(0, 2),
+                TileCoord::new(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_coord_panics() {
+        let g = TileGrid::new(MatrixDims::new(10, 10), TileShape::square(4));
+        let _ = g.tile_dims(TileCoord::new(3, 0));
+    }
+
+    proptest! {
+        /// The grid covers the matrix exactly: summed clipped tile areas
+        /// equal the matrix area, for arbitrary matrix/tile shapes.
+        #[test]
+        fn tiles_cover_matrix_exactly(
+            rows in 1u64..2000,
+            cols in 1u64..2000,
+            tr in 1u64..300,
+            tc in 1u64..300,
+        ) {
+            let m = MatrixDims::new(rows, cols);
+            let g = TileGrid::new(m, TileShape::new(tr, tc));
+            let area: u64 = g.iter_row_major().map(|c| g.tile_dims(c).elems()).sum();
+            prop_assert_eq!(area, m.elems());
+            prop_assert_eq!(g.total_bytes(DataType::F32), m.bytes(DataType::F32));
+        }
+
+        /// Row-major and column-major traversals visit the same set of
+        /// coordinates exactly once.
+        #[test]
+        fn traversals_are_permutations(
+            rows in 1u64..500,
+            cols in 1u64..500,
+            t in 1u64..100,
+        ) {
+            let g = TileGrid::new(MatrixDims::new(rows, cols), TileShape::square(t));
+            let mut a: Vec<_> = g.iter_row_major().collect();
+            let mut b: Vec<_> = g.iter_col_major().collect();
+            prop_assert_eq!(a.len() as u64, g.num_tiles());
+            a.sort();
+            b.sort();
+            prop_assert_eq!(&a, &b);
+            a.dedup();
+            prop_assert_eq!(a.len() as u64, g.num_tiles());
+        }
+
+        /// No clipped tile exceeds the nominal shape.
+        #[test]
+        fn clipped_tiles_never_exceed_nominal(
+            rows in 1u64..1000,
+            cols in 1u64..1000,
+            tr in 1u64..200,
+            tc in 1u64..200,
+        ) {
+            let g = TileGrid::new(MatrixDims::new(rows, cols), TileShape::new(tr, tc));
+            for coord in g.iter_row_major() {
+                let d = g.tile_dims(coord);
+                prop_assert!(d.rows >= 1 && d.rows <= tr);
+                prop_assert!(d.cols >= 1 && d.cols <= tc);
+            }
+        }
+    }
+}

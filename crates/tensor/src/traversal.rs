@@ -1,0 +1,125 @@
+//! Tile traversal orders.
+//!
+//! §4.3 of the paper classifies the `dY` tile access pattern of each gradient
+//! computation as *row-major* (the natural order for `dX = dY × Wᵀ`) or
+//! *column-major* (the natural order for `dW = Xᵀ × dY`). The
+//! *rearrangement* step forces both computations onto one common order —
+//! `dXmajor` (both row-major over `dY`) or `dWmajor` (both column-major).
+//! [`Major`] is that order; [`TraversalOrder`] names the three resulting
+//! schedule families of Figure 10.
+
+use crate::{TileCoord, TileGrid};
+use serde::{Deserialize, Serialize};
+
+/// A traversal order over the tiles of one matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Major {
+    /// Sweep columns within a row, then advance the row.
+    Row,
+    /// Sweep rows within a column, then advance the column.
+    Col,
+}
+
+impl Major {
+    /// Enumerate the grid's coordinates in this order.
+    pub fn iter(self, grid: &TileGrid) -> Box<dyn Iterator<Item = TileCoord> + '_> {
+        match self {
+            Major::Row => Box::new(grid.iter_row_major()),
+            Major::Col => Box::new(grid.iter_col_major()),
+        }
+    }
+
+    /// The opposite order.
+    pub fn flipped(self) -> Major {
+        match self {
+            Major::Row => Major::Col,
+            Major::Col => Major::Row,
+        }
+    }
+}
+
+impl core::fmt::Display for Major {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Major::Row => "row-major",
+            Major::Col => "col-major",
+        })
+    }
+}
+
+/// The three interleaved tile-access orders of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraversalOrder {
+    /// Figure 10 (a): each gradient keeps its traditional order — `dX`
+    /// row-major over `dY`, `dW` column-major over `dY`.
+    Traditional,
+    /// Figure 10 (b): both gradients traverse `dY` row-major, favouring `dX`
+    /// reuse at the cost of `dW` partial-sum tiles.
+    DxMajor,
+    /// Figure 10 (c): both gradients traverse `dY` column-major, favouring
+    /// `dW` reuse at the cost of `dX` partial-sum tiles.
+    DwMajor,
+}
+
+impl TraversalOrder {
+    /// All orders, in the order Figure 10 presents them.
+    pub const ALL: [TraversalOrder; 3] = [
+        TraversalOrder::Traditional,
+        TraversalOrder::DxMajor,
+        TraversalOrder::DwMajor,
+    ];
+
+    /// The shared `dY` traversal major, when one exists (`None` for
+    /// [`TraversalOrder::Traditional`], whose two streams disagree).
+    pub fn shared_major(self) -> Option<Major> {
+        match self {
+            TraversalOrder::Traditional => None,
+            TraversalOrder::DxMajor => Some(Major::Row),
+            TraversalOrder::DwMajor => Some(Major::Col),
+        }
+    }
+}
+
+impl core::fmt::Display for TraversalOrder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            TraversalOrder::Traditional => "interleave",
+            TraversalOrder::DxMajor => "interleave+dXmajor",
+            TraversalOrder::DwMajor => "interleave+dWmajor",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MatrixDims, TileShape};
+
+    #[test]
+    fn major_iter_matches_grid_iters() {
+        let g = TileGrid::new(MatrixDims::new(10, 30), TileShape::square(10));
+        let row: Vec<_> = Major::Row.iter(&g).collect();
+        let col: Vec<_> = Major::Col.iter(&g).collect();
+        assert_eq!(row, g.iter_row_major().collect::<Vec<_>>());
+        assert_eq!(col, g.iter_col_major().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flipping_is_involutive() {
+        assert_eq!(Major::Row.flipped(), Major::Col);
+        assert_eq!(Major::Row.flipped().flipped(), Major::Row);
+    }
+
+    #[test]
+    fn shared_majors() {
+        assert_eq!(TraversalOrder::Traditional.shared_major(), None);
+        assert_eq!(TraversalOrder::DxMajor.shared_major(), Some(Major::Row));
+        assert_eq!(TraversalOrder::DwMajor.shared_major(), Some(Major::Col));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TraversalOrder::DxMajor.to_string(), "interleave+dXmajor");
+        assert_eq!(Major::Col.to_string(), "col-major");
+    }
+}

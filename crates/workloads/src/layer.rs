@@ -1,0 +1,354 @@
+//! Layers and models.
+//!
+//! A [`Model`] is the unit the simulator trains: an ordered list of
+//! [`Layer`]s, each already lowered to its forward GEMM (convolutions via
+//! im2col, attention/linear blocks directly). Identical consecutive layers
+//! are stored once with a `count`, which keeps simulation time proportional
+//! to the number of *distinct* layer shapes (a 24-block BERT simulates one
+//! block and multiplies).
+//!
+//! Only layers with trainable parameters appear: the paper's techniques
+//! apply to "layers where weight gradients and input gradients can be
+//! computed using GEMM or convolution operations" (§6.1). Embedding lookups
+//! (NCF, DLRM) are parameter stores, not GEMMs; their sizes are recorded in
+//! [`Model::embedding_params`] for the Table 4 parameter counts but they do
+//! not generate schedules.
+
+use igo_tensor::{ConvShape, GemmShape};
+use serde::{Deserialize, Serialize};
+
+/// What kind of computation a layer is (for reporting and Figure 13's
+/// shallow/deep split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// A convolution, lowered via im2col.
+    Conv,
+    /// A depthwise/grouped convolution (lowered per group).
+    DepthwiseConv,
+    /// A fully-connected / linear projection.
+    Fc,
+}
+
+impl core::fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            LayerKind::Conv => "conv",
+            LayerKind::DepthwiseConv => "dwconv",
+            LayerKind::Fc => "fc",
+        })
+    }
+}
+
+/// One trainable layer, lowered to its forward GEMM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Layer name, unique within the model (e.g. `res3b_conv2`).
+    pub name: String,
+    /// The forward GEMM `X(M,K) × W(K,N) → Y(M,N)`.
+    pub gemm: GemmShape,
+    /// How many identical instances of this layer the model contains.
+    pub count: u32,
+    /// Computation kind.
+    pub kind: LayerKind,
+    /// Number of parallel GEMM groups (1 for dense layers; `groups` for a
+    /// depthwise convolution, each group running `gemm` independently).
+    pub groups: u32,
+    /// Whether this is the model's first layer. The first layer needs no
+    /// `dX` (there is no upstream layer to propagate into), so the
+    /// interleaving technique does not apply there (paper §6.2).
+    pub is_first: bool,
+    /// Ratio of raw-layout `X`/`dX` DRAM bytes to their im2col footprint
+    /// (see [`ConvShape::ifmap_density`]); 1.0 for fully-connected layers.
+    pub ifmap_density: f64,
+}
+
+impl Layer {
+    /// A dense convolution layer.
+    pub fn conv(name: impl Into<String>, shape: ConvShape) -> Self {
+        let kind = if shape.groups > 1 {
+            LayerKind::DepthwiseConv
+        } else {
+            LayerKind::Conv
+        };
+        Self {
+            name: name.into(),
+            gemm: shape.to_gemm(),
+            count: 1,
+            kind,
+            groups: shape.groups as u32,
+            is_first: false,
+            ifmap_density: shape.ifmap_density(),
+        }
+    }
+
+    /// A fully-connected layer processing `batch` rows.
+    pub fn fc(name: impl Into<String>, batch: u64, in_features: u64, out_features: u64) -> Self {
+        Self {
+            name: name.into(),
+            gemm: GemmShape::new(batch, in_features, out_features),
+            count: 1,
+            kind: LayerKind::Fc,
+            groups: 1,
+            is_first: false,
+            ifmap_density: 1.0,
+        }
+    }
+
+    /// Set the multiplicity.
+    #[must_use]
+    pub fn times(mut self, count: u32) -> Self {
+        assert!(count > 0, "layer count must be positive");
+        self.count = count;
+        self
+    }
+
+    /// Mark as the model's first layer.
+    #[must_use]
+    pub fn first(mut self) -> Self {
+        self.is_first = true;
+        self
+    }
+
+    /// Trainable parameters of one instance (`K × N` per group × groups).
+    pub fn params(&self) -> u64 {
+        self.gemm.k() * self.gemm.n() * self.groups as u64
+    }
+
+    /// Forward MACs of one instance across groups.
+    pub fn forward_macs(&self) -> u64 {
+        self.gemm.macs() * self.groups as u64
+    }
+}
+
+/// Identifiers for the Table 4 model zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelId {
+    /// FasterRCNN object detector (19M parameters).
+    FasterRcnn,
+    /// GoogleNet / Inception-v1 classifier.
+    GoogleNet,
+    /// Neural collaborative filtering recommender (3B parameters, mostly
+    /// embeddings).
+    Ncf,
+    /// ResNet-50 classifier (25M parameters).
+    Resnet50,
+    /// DLRM recommender (25B parameters, mostly embeddings).
+    Dlrm,
+    /// MobileNet classifier.
+    MobileNet,
+    /// YOLOv5 detector (47M parameters) — the server-NPU variant.
+    YoloV5,
+    /// YOLOv2-tiny detector (11M parameters) — the edge-NPU variant.
+    YoloV2Tiny,
+    /// BERT-large encoder (340M parameters) — the server-NPU variant.
+    BertLarge,
+    /// BERT-tiny encoder (14M parameters) — the edge-NPU variant.
+    BertTiny,
+    /// T5-large encoder-decoder (770M parameters) — the server-NPU variant.
+    T5Large,
+    /// T5-small encoder-decoder (60M parameters) — the edge-NPU variant.
+    T5Small,
+}
+
+impl ModelId {
+    /// Table 4's abbreviation for the model family.
+    pub fn abbr(self) -> &'static str {
+        match self {
+            ModelId::FasterRcnn => "rcnn",
+            ModelId::GoogleNet => "goo",
+            ModelId::Ncf => "ncf",
+            ModelId::Resnet50 => "res",
+            ModelId::Dlrm => "dlrm",
+            ModelId::MobileNet => "mob",
+            ModelId::YoloV5 | ModelId::YoloV2Tiny => "yolo",
+            ModelId::BertLarge | ModelId::BertTiny => "bert",
+            ModelId::T5Large | ModelId::T5Small => "T5",
+        }
+    }
+}
+
+impl core::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.abbr())
+    }
+}
+
+/// A model: an ordered list of trainable layers plus embedding metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// Which zoo entry this is.
+    pub id: ModelId,
+    /// Full name (e.g. `resnet50`).
+    pub name: String,
+    /// Batch size the layers were lowered with.
+    pub batch: u64,
+    /// Trainable GEMM/conv layers in forward order.
+    pub layers: Vec<Layer>,
+    /// Parameters held in embedding tables (not simulated as GEMMs).
+    pub embedding_params: u64,
+}
+
+impl Model {
+    /// Build a model, marking the first layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or layer names collide.
+    pub fn new(
+        id: ModelId,
+        name: impl Into<String>,
+        batch: u64,
+        mut layers: Vec<Layer>,
+        embedding_params: u64,
+    ) -> Self {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        let mut names = std::collections::HashSet::new();
+        for layer in &layers {
+            assert!(
+                names.insert(layer.name.clone()),
+                "duplicate layer name {}",
+                layer.name
+            );
+        }
+        layers[0].is_first = true;
+        Self {
+            id,
+            name: name.into(),
+            batch,
+            layers,
+            embedding_params,
+        }
+    }
+
+    /// Total trainable parameters (GEMM weights × counts + embeddings).
+    pub fn params(&self) -> u64 {
+        self.embedding_params
+            + self
+                .layers
+                .iter()
+                .map(|l| l.params() * l.count as u64)
+                .sum::<u64>()
+    }
+
+    /// Total forward MACs per training step.
+    pub fn forward_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.forward_macs() * l.count as u64)
+            .sum()
+    }
+
+    /// Number of distinct layer shapes.
+    pub fn distinct_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of layer instances (sum of counts).
+    pub fn total_layers(&self) -> u64 {
+        self.layers.iter().map(|l| l.count as u64).sum()
+    }
+}
+
+impl core::fmt::Display for Model {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} (batch {}, {} layers, {:.1}M params)",
+            self.name,
+            self.batch,
+            self.total_layers(),
+            self.params() as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_layer_params() {
+        let l = Layer::fc("head", 8, 2048, 1000);
+        assert_eq!(l.params(), 2048 * 1000);
+        assert_eq!(l.forward_macs(), 8 * 2048 * 1000);
+        assert_eq!(l.kind, LayerKind::Fc);
+    }
+
+    #[test]
+    fn conv_layer_params_match_conv_shape() {
+        let c = ConvShape::new(4, 64, 56, 56, 128, 3, 1, 1);
+        let l = Layer::conv("c", c);
+        assert_eq!(l.params(), c.params());
+        assert_eq!(l.forward_macs(), c.macs());
+        assert_eq!(l.kind, LayerKind::Conv);
+    }
+
+    #[test]
+    fn depthwise_conv_detected() {
+        let c = ConvShape::grouped(1, 32, 28, 28, 32, 3, 1, 1, 32);
+        let l = Layer::conv("dw", c);
+        assert_eq!(l.kind, LayerKind::DepthwiseConv);
+        assert_eq!(l.groups, 32);
+        assert_eq!(l.params(), c.params());
+    }
+
+    #[test]
+    fn model_marks_first_layer() {
+        let m = Model::new(
+            ModelId::Resnet50,
+            "toy",
+            4,
+            vec![Layer::fc("a", 4, 8, 8), Layer::fc("b", 4, 8, 8)],
+            0,
+        );
+        assert!(m.layers[0].is_first);
+        assert!(!m.layers[1].is_first);
+    }
+
+    #[test]
+    fn counts_multiply_params_and_macs() {
+        let m = Model::new(
+            ModelId::BertTiny,
+            "toy",
+            4,
+            vec![Layer::fc("block", 4, 128, 128).times(6)],
+            0,
+        );
+        assert_eq!(m.params(), 6 * 128 * 128);
+        assert_eq!(m.total_layers(), 6);
+        assert_eq!(m.distinct_layers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate layer name")]
+    fn duplicate_names_panic() {
+        let _ = Model::new(
+            ModelId::Ncf,
+            "dup",
+            4,
+            vec![Layer::fc("x", 4, 8, 8), Layer::fc("x", 4, 8, 8)],
+            0,
+        );
+    }
+
+    #[test]
+    fn abbreviations_match_table4() {
+        assert_eq!(ModelId::FasterRcnn.abbr(), "rcnn");
+        assert_eq!(ModelId::YoloV5.abbr(), "yolo");
+        assert_eq!(ModelId::YoloV2Tiny.abbr(), "yolo");
+        assert_eq!(ModelId::T5Small.abbr(), "T5");
+        assert_eq!(ModelId::Dlrm.abbr(), "dlrm");
+    }
+
+    #[test]
+    fn embeddings_count_toward_params() {
+        let m = Model::new(
+            ModelId::Dlrm,
+            "emb",
+            4,
+            vec![Layer::fc("mlp", 4, 13, 512)],
+            1_000_000,
+        );
+        assert_eq!(m.params(), 1_000_000 + 13 * 512);
+    }
+}

@@ -1,0 +1,39 @@
+//! The IGO model zoo — Table 4 of the paper.
+//!
+//! | Model | Abbr | Parameters (Table 4) |
+//! |---|---|---|
+//! | FasterRCNN | rcnn | 19M |
+//! | GoogleNet | goo | 62M |
+//! | NCF-recommendation | ncf | 3B |
+//! | Resnet50 | res | 25M |
+//! | DLRM | dlrm | 25B |
+//! | Mobilenet | mob | 13M |
+//! | YOLO (v5 / v2-tiny) | yolo | 47M / 11M |
+//! | BERT (large / tiny) | bert | 340M / 14M |
+//! | T5 (large / small) | T5 | 770M / 60M |
+//!
+//! Each model is reconstructed from its public architecture and lowered to
+//! per-layer forward GEMMs (convolutions via im2col), parameterised by
+//! batch size. Size variants follow the paper: the server (large-NPU) suite
+//! uses yolov5/bert-large/t5-large, the edge suite uses
+//! yolov2-tiny/bert-tiny/t5-small. See `DESIGN.md` for documented
+//! deviations where Table 4's parameter counts pin down a non-default
+//! variant (e.g. MobileNet width 1.75x).
+//!
+//! # Example
+//!
+//! ```
+//! use igo_workloads::{zoo, ModelId};
+//!
+//! let bert = zoo::model(ModelId::BertLarge, 8);
+//! assert!(bert.params() > 300_000_000);
+//! for layer in &bert.layers {
+//!     println!("{}: {} x{}", layer.name, layer.gemm, layer.count);
+//! }
+//! ```
+
+pub mod layer;
+pub mod models;
+pub mod zoo;
+
+pub use layer::{Layer, LayerKind, Model, ModelId};

@@ -1,0 +1,130 @@
+//! MobileNet (Howard et al., 2017) — Table 4 "mob".
+//!
+//! MobileNetV1 alternates depthwise 3×3 convolutions with pointwise 1×1
+//! convolutions. Table 4 lists 13M parameters, which matches MobileNetV1
+//! with a width multiplier of ~1.75–2.0 (the 1.0× network has 4.2M); we use
+//! 1.75× and document the reconstruction in DESIGN.md. The *shapes* are the
+//! interesting part for the IGO techniques: depthwise layers have tiny
+//! per-group GEMMs (K=9, N=1) while pointwise layers are channel-skewed
+//! GEMMs — both exercise the non-square paths of Algorithm 1.
+
+use crate::layer::{Layer, Model, ModelId};
+use igo_tensor::ConvShape;
+
+fn width(base: u64, multiplier: f64) -> u64 {
+    // Round to a multiple of 8 as the MobileNet reference implementations do.
+    let w = (base as f64 * multiplier / 8.0).round() as u64 * 8;
+    w.max(8)
+}
+
+/// Build MobileNetV1 (width multiplier 1.75) at the given batch size.
+pub fn build(batch: u64) -> Model {
+    const MULT: f64 = 1.75;
+    let mut layers = Vec::new();
+    let c32 = width(32, MULT);
+    layers.push(Layer::conv(
+        "conv1",
+        ConvShape::new(batch, 3, 224, 224, c32, 3, 2, 1),
+    ));
+
+    // (in, out, spatial-in, stride, repeat) of each dw+pw pair.
+    let blocks: [(u64, u64, u64, u64, u32); 7] = [
+        (32, 64, 112, 1, 1),
+        (64, 128, 112, 2, 1),
+        (128, 128, 56, 1, 1),
+        (128, 256, 56, 2, 1),
+        (256, 256, 28, 1, 1),
+        (256, 512, 28, 2, 1),
+        (512, 512, 14, 1, 5),
+    ];
+    for (i, &(c_in, c_out, size, stride, repeat)) in blocks.iter().enumerate() {
+        let (c_in, c_out) = (width(c_in, MULT), width(c_out, MULT));
+        let out_size = size / stride;
+        layers.push(
+            Layer::conv(
+                format!("dw{}", i + 1),
+                ConvShape::grouped(batch, c_in, size, size, c_in, 3, stride, 1, c_in),
+            )
+            .times(repeat),
+        );
+        layers.push(
+            Layer::conv(
+                format!("pw{}", i + 1),
+                ConvShape::new(batch, c_in, out_size, out_size, c_out, 1, 1, 0),
+            )
+            .times(repeat),
+        );
+    }
+
+    // Final pair down to 7x7 and the classifier.
+    let c512 = width(512, MULT);
+    let c1024 = width(1024, MULT);
+    layers.push(Layer::conv(
+        "dw8",
+        ConvShape::grouped(batch, c512, 14, 14, c512, 3, 2, 1, c512),
+    ));
+    layers.push(Layer::conv(
+        "pw8",
+        ConvShape::new(batch, c512, 7, 7, c1024, 1, 1, 0),
+    ));
+    layers.push(Layer::conv(
+        "dw9",
+        ConvShape::grouped(batch, c1024, 7, 7, c1024, 3, 1, 1, c1024),
+    ));
+    layers.push(Layer::conv(
+        "pw9",
+        ConvShape::new(batch, c1024, 7, 7, c1024, 1, 1, 0),
+    ));
+    layers.push(Layer::fc("fc1000", batch, c1024, 1000));
+
+    Model::new(ModelId::MobileNet, "mobilenet", batch, layers, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn parameter_count_near_table4() {
+        let m = build(8);
+        let params = m.params() as f64 / 1e6;
+        assert!(
+            (10.0..17.0).contains(&params),
+            "expected ~13M params, got {params:.1}M"
+        );
+    }
+
+    #[test]
+    fn alternates_depthwise_and_pointwise() {
+        let m = build(4);
+        let dw = m
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::DepthwiseConv)
+            .count();
+        let pw = m
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Conv && l.name.starts_with("pw"))
+            .count();
+        assert_eq!(dw, 9);
+        assert_eq!(pw, 9);
+    }
+
+    #[test]
+    fn depthwise_gemm_is_per_channel() {
+        let m = build(4);
+        let dw = m.layers.iter().find(|l| l.name == "dw1").unwrap();
+        assert_eq!(dw.gemm.k(), 9);
+        assert_eq!(dw.gemm.n(), 1);
+        assert_eq!(dw.groups as u64, width(32, 1.75));
+    }
+
+    #[test]
+    fn width_rounds_to_multiple_of_8() {
+        assert_eq!(width(32, 1.75), 56);
+        assert_eq!(width(3, 1.0), 8);
+        assert_eq!(width(1024, 1.75), 1792);
+    }
+}

@@ -1,0 +1,9 @@
+//! Per-model builders. Use [`crate::zoo::model`] for dispatch by id.
+
+pub mod googlenet;
+pub mod mobilenet;
+pub mod rcnn;
+pub mod recsys;
+pub mod resnet;
+pub mod transformer;
+pub mod yolo;

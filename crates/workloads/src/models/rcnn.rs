@@ -1,0 +1,124 @@
+//! FasterRCNN object detector — Table 4 "rcnn", 19M parameters.
+//!
+//! Reconstruction: a ResNet-18 backbone (the parameter budget of Table 4
+//! rules out the VGG-16 and ResNet-50 variants), a region proposal network
+//! (3×3 conv + objectness/box 1×1 heads), and the RoI detection head
+//! (two fully-connected layers over pooled 7×7 features plus the class and
+//! box regressors), at 640×640 input. RoI-pooled head GEMMs use a nominal
+//! 128 proposals per image, the torchvision training default's
+//! `box_batch_size_per_image / 4` regime.
+
+use crate::layer::{Layer, Model, ModelId};
+use igo_tensor::ConvShape;
+
+#[allow(clippy::too_many_arguments)]
+fn basic_block(
+    name: &str,
+    batch: u64,
+    c_in: u64,
+    c_out: u64,
+    size_in: u64,
+    stride: u64,
+    repeat_rest: u32,
+    layers: &mut Vec<Layer>,
+) {
+    let size_out = size_in / stride;
+    // First block of the stage (may downsample).
+    layers.push(Layer::conv(
+        format!("{name}a_conv1"),
+        ConvShape::new(batch, c_in, size_in, size_in, c_out, 3, stride, 1),
+    ));
+    layers.push(Layer::conv(
+        format!("{name}a_conv2"),
+        ConvShape::new(batch, c_out, size_out, size_out, c_out, 3, 1, 1),
+    ));
+    if stride != 1 || c_in != c_out {
+        layers.push(Layer::conv(
+            format!("{name}a_proj"),
+            ConvShape::new(batch, c_in, size_in, size_in, c_out, 1, stride, 0),
+        ));
+    }
+    // Remaining identity blocks.
+    layers.push(
+        Layer::conv(
+            format!("{name}b_conv"),
+            ConvShape::new(batch, c_out, size_out, size_out, c_out, 3, 1, 1),
+        )
+        .times(repeat_rest * 2),
+    );
+}
+
+/// Build FasterRCNN (ResNet-18 backbone) at the given batch size.
+pub fn build(batch: u64) -> Model {
+    let mut layers = Vec::new();
+    // Backbone stem at 640x640.
+    layers.push(Layer::conv(
+        "conv1",
+        ConvShape::new(batch, 3, 640, 640, 64, 7, 2, 3),
+    ));
+    // ResNet-18 stages (after 2x max-pool: 160x160).
+    basic_block("res2", batch, 64, 64, 160, 1, 1, &mut layers);
+    basic_block("res3", batch, 64, 128, 160, 2, 1, &mut layers);
+    basic_block("res4", batch, 128, 256, 80, 2, 1, &mut layers);
+    basic_block("res5", batch, 256, 512, 40, 2, 1, &mut layers);
+
+    // Region proposal network on the stride-32 map (20x20).
+    layers.push(Layer::conv(
+        "rpn_conv",
+        ConvShape::new(batch, 512, 20, 20, 512, 3, 1, 1),
+    ));
+    layers.push(Layer::conv(
+        "rpn_cls",
+        ConvShape::new(batch, 512, 20, 20, 9, 1, 1, 0),
+    ));
+    layers.push(Layer::conv(
+        "rpn_box",
+        ConvShape::new(batch, 512, 20, 20, 36, 1, 1, 0),
+    ));
+
+    // RoI head: 128 proposals per image, 512x7x7 pooled features.
+    let rois = batch * 128;
+    layers.push(Layer::fc("head_fc1", rois, 512 * 49, 256));
+    layers.push(Layer::fc("head_fc2", rois, 256, 256));
+    layers.push(Layer::fc("head_cls", rois, 256, 91));
+    layers.push(Layer::fc("head_box", rois, 256, 364));
+
+    Model::new(ModelId::FasterRcnn, "faster-rcnn", batch, layers, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_near_table4() {
+        let m = build(8);
+        let params = m.params() as f64 / 1e6;
+        assert!(
+            (15.0..26.0).contains(&params),
+            "expected ~19M params, got {params:.1}M"
+        );
+    }
+
+    #[test]
+    fn roi_head_scales_with_proposals() {
+        let m = build(4);
+        let fc1 = m.layers.iter().find(|l| l.name == "head_fc1").unwrap();
+        assert_eq!(fc1.gemm.m(), 4 * 128);
+        assert_eq!(fc1.gemm.k(), 512 * 49);
+    }
+
+    #[test]
+    fn rpn_present() {
+        let m = build(4);
+        assert!(m.layers.iter().any(|l| l.name == "rpn_conv"));
+        assert!(m.layers.iter().any(|l| l.name == "rpn_cls"));
+    }
+
+    #[test]
+    fn backbone_projections_exist_on_downsample_stages() {
+        let m = build(4);
+        assert!(!m.layers.iter().any(|l| l.name == "res2a_proj"));
+        assert!(m.layers.iter().any(|l| l.name == "res3a_proj"));
+    }
+}

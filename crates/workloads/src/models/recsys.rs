@@ -1,0 +1,109 @@
+//! Recommendation models — Table 4 "ncf" (3B parameters) and "dlrm" (25B).
+//!
+//! Both models are *embedding-dominated*: the billions of parameters live in
+//! lookup tables that are gathered, not multiplied, so they contribute to
+//! [`crate::Model::embedding_params`] but not to the GEMM layer list. The
+//! trainable GEMMs are the MLP towers, whose row count is the batch size —
+//! the extreme `M ≪ K,N` regime in which the paper's dY-sharing and
+//! ifmap-sharing partitionings beat conventional batch partitioning
+//! ("if the dimension M is smaller than the width of a systolic array,
+//! splitting M does not improve performance at all", §5).
+//!
+//! * **NCF** (He et al., 2017, NeuMF variant): GMF + 4-layer MLP over
+//!   128-dim user/item embeddings; 3B parameters ≈ 11.7M users + items at
+//!   dim 128 in two towers.
+//! * **DLRM** (Naumov et al., 2019): the open-sourced RM-2-like
+//!   configuration — bottom MLP 13→512→256→128, 26 sparse features with
+//!   pairwise feature interaction, top MLP 479→1024→1024→512→256→1; 25B
+//!   parameters ≈ 26 tables × ~15M rows × dim 64.
+
+use crate::layer::{Layer, Model, ModelId};
+
+/// Samples per configured batch unit: recommendation models train on
+/// sample batches (user-item pairs / click events), not image batches. A
+/// Table-3 "batch" of 8 corresponds to 8x256 = 2048 samples — DLRM's
+/// standard training batch — which also reproduces Figure 5's observation
+/// that dY dominates dlrm's backward reads (68.3%).
+pub const SAMPLES_PER_BATCH_UNIT: u64 = 256;
+
+/// Build NCF (NeuMF) at the given batch size (in Table-3 batch units).
+pub fn build_ncf(batch: u64) -> Model {
+    let batch_units = batch;
+    let batch = batch * SAMPLES_PER_BATCH_UNIT;
+    const EMB_DIM: u64 = 128;
+    // 3B params split across GMF and MLP user/item tables.
+    const EMBEDDING_PARAMS: u64 = 3_000_000_000;
+    let layers = vec![
+        // MLP tower over concatenated [user, item] embeddings.
+        Layer::fc("mlp_fc1", batch, 2 * EMB_DIM, 256),
+        Layer::fc("mlp_fc2", batch, 256, 128),
+        Layer::fc("mlp_fc3", batch, 128, 64),
+        // NeuMF head over [GMF output, MLP output].
+        Layer::fc("neumf_out", batch, EMB_DIM + 64, 1),
+    ];
+    Model::new(ModelId::Ncf, "ncf", batch_units, layers, EMBEDDING_PARAMS)
+}
+
+/// Build DLRM at the given batch size (in Table-3 batch units).
+pub fn build_dlrm(batch: u64) -> Model {
+    let batch_units = batch;
+    let batch = batch * SAMPLES_PER_BATCH_UNIT;
+    const EMBEDDING_PARAMS: u64 = 25_000_000_000;
+    // 26 sparse features + 1 dense bottom output -> 27*26/2 = 351 pairwise
+    // interaction terms, concatenated with the 128-dim bottom output.
+    let top_in = 351 + 128;
+    let layers = vec![
+        Layer::fc("bot_fc1", batch, 13, 512),
+        Layer::fc("bot_fc2", batch, 512, 256),
+        Layer::fc("bot_fc3", batch, 256, 128),
+        Layer::fc("top_fc1", batch, top_in, 1024),
+        Layer::fc("top_fc2", batch, 1024, 1024),
+        Layer::fc("top_fc3", batch, 1024, 512),
+        Layer::fc("top_fc4", batch, 512, 256),
+        Layer::fc("top_out", batch, 256, 1),
+    ];
+    Model::new(ModelId::Dlrm, "dlrm", batch_units, layers, EMBEDDING_PARAMS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ncf_params_match_table4() {
+        let m = build_ncf(8);
+        let b = m.params() as f64 / 1e9;
+        assert!((2.9..3.1).contains(&b), "expected ~3B, got {b:.2}B");
+    }
+
+    #[test]
+    fn dlrm_params_match_table4() {
+        let m = build_dlrm(8);
+        let b = m.params() as f64 / 1e9;
+        assert!((24.9..25.1).contains(&b), "expected ~25B, got {b:.2}B");
+    }
+
+    #[test]
+    fn mlp_rows_are_sample_batch() {
+        for m in [build_ncf(4), build_dlrm(4)] {
+            for l in &m.layers {
+                assert_eq!(
+                    l.gemm.m(),
+                    4 * SAMPLES_PER_BATCH_UNIT,
+                    "layer {} of {}",
+                    l.name,
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layers_are_extremely_skewed() {
+        // The regime that motivates alternative partitionings: M tiny.
+        let m = build_dlrm(8);
+        let bot1 = m.layers.iter().find(|l| l.name == "bot_fc1").unwrap();
+        assert!(!bot1.gemm.is_almost_square(4.0));
+        assert!(bot1.gemm.m() > 16 * bot1.gemm.k());
+    }
+}

@@ -1,0 +1,184 @@
+//! ResNet-50 (He et al., 2016) — Table 4 "res", 25M parameters.
+//!
+//! Standard ImageNet configuration: 224×224 input, bottleneck blocks
+//! [1×1, 3×3, 1×1] in four stages of 3/4/6/3 blocks, plus the stem and the
+//! classifier head. Identical repeated blocks within a stage are stored
+//! once with a count.
+
+use crate::layer::{Layer, Model, ModelId};
+use igo_tensor::ConvShape;
+
+/// Build ResNet-50 at the given batch size.
+#[allow(clippy::vec_init_then_push)]
+pub fn build(batch: u64) -> Model {
+    let mut layers = Vec::new();
+    // Stem: 7x7/2, 3 -> 64, 224 -> 112.
+    layers.push(Layer::conv(
+        "conv1",
+        ConvShape::new(batch, 3, 224, 224, 64, 7, 2, 3),
+    ));
+
+    // Stage 2 (56x56, 3 blocks): in 64 -> [64, 64, 256].
+    // First block sees 64 channels (after 3x3/2 max-pool) and has a
+    // projection shortcut; later blocks see 256.
+    layers.push(Layer::conv(
+        "res2a_branch1",
+        ConvShape::new(batch, 64, 56, 56, 256, 1, 1, 0),
+    ));
+    layers.push(Layer::conv(
+        "res2a_conv1",
+        ConvShape::new(batch, 64, 56, 56, 64, 1, 1, 0),
+    ));
+    layers.push(
+        Layer::conv("res2_conv2", ConvShape::new(batch, 64, 56, 56, 64, 3, 1, 1)).times(3),
+    );
+    layers.push(
+        Layer::conv(
+            "res2_conv3",
+            ConvShape::new(batch, 64, 56, 56, 256, 1, 1, 0),
+        )
+        .times(3),
+    );
+    layers.push(
+        Layer::conv(
+            "res2bc_conv1",
+            ConvShape::new(batch, 256, 56, 56, 64, 1, 1, 0),
+        )
+        .times(2),
+    );
+
+    // Stage 3 (28x28, 4 blocks): [128, 128, 512].
+    layers.push(Layer::conv(
+        "res3a_branch1",
+        ConvShape::new(batch, 256, 56, 56, 512, 1, 2, 0),
+    ));
+    layers.push(Layer::conv(
+        "res3a_conv1",
+        ConvShape::new(batch, 256, 56, 56, 128, 1, 2, 0),
+    ));
+    layers.push(
+        Layer::conv(
+            "res3_conv2",
+            ConvShape::new(batch, 128, 28, 28, 128, 3, 1, 1),
+        )
+        .times(4),
+    );
+    layers.push(
+        Layer::conv(
+            "res3_conv3",
+            ConvShape::new(batch, 128, 28, 28, 512, 1, 1, 0),
+        )
+        .times(4),
+    );
+    layers.push(
+        Layer::conv(
+            "res3bcd_conv1",
+            ConvShape::new(batch, 512, 28, 28, 128, 1, 1, 0),
+        )
+        .times(3),
+    );
+
+    // Stage 4 (14x14, 6 blocks): [256, 256, 1024].
+    layers.push(Layer::conv(
+        "res4a_branch1",
+        ConvShape::new(batch, 512, 28, 28, 1024, 1, 2, 0),
+    ));
+    layers.push(Layer::conv(
+        "res4a_conv1",
+        ConvShape::new(batch, 512, 28, 28, 256, 1, 2, 0),
+    ));
+    layers.push(
+        Layer::conv(
+            "res4_conv2",
+            ConvShape::new(batch, 256, 14, 14, 256, 3, 1, 1),
+        )
+        .times(6),
+    );
+    layers.push(
+        Layer::conv(
+            "res4_conv3",
+            ConvShape::new(batch, 256, 14, 14, 1024, 1, 1, 0),
+        )
+        .times(6),
+    );
+    layers.push(
+        Layer::conv(
+            "res4bf_conv1",
+            ConvShape::new(batch, 1024, 14, 14, 256, 1, 1, 0),
+        )
+        .times(5),
+    );
+
+    // Stage 5 (7x7, 3 blocks): [512, 512, 2048].
+    layers.push(Layer::conv(
+        "res5a_branch1",
+        ConvShape::new(batch, 1024, 14, 14, 2048, 1, 2, 0),
+    ));
+    layers.push(Layer::conv(
+        "res5a_conv1",
+        ConvShape::new(batch, 1024, 14, 14, 512, 1, 2, 0),
+    ));
+    layers.push(
+        Layer::conv("res5_conv2", ConvShape::new(batch, 512, 7, 7, 512, 3, 1, 1)).times(3),
+    );
+    layers.push(
+        Layer::conv(
+            "res5_conv3",
+            ConvShape::new(batch, 512, 7, 7, 2048, 1, 1, 0),
+        )
+        .times(3),
+    );
+    layers.push(
+        Layer::conv(
+            "res5bc_conv1",
+            ConvShape::new(batch, 2048, 7, 7, 512, 1, 1, 0),
+        )
+        .times(2),
+    );
+
+    // Classifier head.
+    layers.push(Layer::fc("fc1000", batch, 2048, 1000));
+
+    Model::new(ModelId::Resnet50, "resnet50", batch, layers, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_table4() {
+        let m = build(8);
+        let params = m.params() as f64 / 1e6;
+        // ResNet-50 has ~25.5M parameters; Table 4 lists 25M.
+        assert!(
+            (23.0..27.0).contains(&params),
+            "expected ~25M params, got {params:.1}M"
+        );
+    }
+
+    #[test]
+    fn first_layer_is_stem() {
+        let m = build(4);
+        assert_eq!(m.layers[0].name, "conv1");
+        assert!(m.layers[0].is_first);
+    }
+
+    #[test]
+    fn block_structure_counts() {
+        let m = build(4);
+        // 1 stem + 16 bottleneck blocks x 3 convs + 4 projections + 1 fc.
+        assert_eq!(m.total_layers(), 1 + 48 + 4 + 1);
+    }
+
+    #[test]
+    fn gemm_dims_scale_with_batch() {
+        let m4 = build(4);
+        let m8 = build(8);
+        for (a, b) in m4.layers.iter().zip(&m8.layers) {
+            assert_eq!(b.gemm.m(), 2 * a.gemm.m(), "layer {}", a.name);
+            assert_eq!(a.gemm.k(), b.gemm.k());
+            assert_eq!(a.gemm.n(), b.gemm.n());
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Transformer language models — Table 4 "bert" (large 340M / tiny 14M) and
+//! "T5" (large 770M / small 60M).
+//!
+//! Only the *weighted* projections appear as layers: QKV, attention output,
+//! and the two feed-forward GEMMs (for T5 decoders also the cross-attention
+//! projections). The attention score/context matmuls (`QKᵀ`, `PV`) carry no
+//! trainable weights, so they have no `dW` and the paper's interleaving
+//! does not apply to them (§6.1 applies the techniques to "layers where
+//! weight gradients and input gradients can be computed").
+//!
+//! Embedding matrices count toward [`crate::Model::embedding_params`]
+//! (they are gathered in training steps, and their gradient is a sparse
+//! scatter, not a GEMM).
+
+use crate::layer::{Layer, Model, ModelId};
+
+/// Hyper-parameters of one encoder/decoder stack.
+#[derive(Debug, Clone, Copy)]
+struct StackConfig {
+    hidden: u64,
+    ffn: u64,
+    layers: u32,
+    cross_attention: bool,
+}
+
+fn stack(prefix: &str, rows: u64, cfg: StackConfig, out: &mut Vec<Layer>) {
+    let h = cfg.hidden;
+    out.push(Layer::fc(format!("{prefix}_qkv"), rows, h, 3 * h).times(cfg.layers));
+    out.push(Layer::fc(format!("{prefix}_attn_out"), rows, h, h).times(cfg.layers));
+    if cfg.cross_attention {
+        out.push(Layer::fc(format!("{prefix}_xattn_q"), rows, h, h).times(cfg.layers));
+        out.push(Layer::fc(format!("{prefix}_xattn_kv"), rows, h, 2 * h).times(cfg.layers));
+        out.push(Layer::fc(format!("{prefix}_xattn_out"), rows, h, h).times(cfg.layers));
+    }
+    out.push(Layer::fc(format!("{prefix}_ffn_up"), rows, h, cfg.ffn).times(cfg.layers));
+    out.push(Layer::fc(format!("{prefix}_ffn_down"), rows, cfg.ffn, h).times(cfg.layers));
+}
+
+fn bert(id: ModelId, name: &str, batch: u64, seq: u64, hidden: u64, ffn: u64, depth: u32) -> Model {
+    let mut layers = Vec::new();
+    stack(
+        "enc",
+        batch * seq,
+        StackConfig {
+            hidden,
+            ffn,
+            layers: depth,
+            cross_attention: false,
+        },
+        &mut layers,
+    );
+    layers.push(Layer::fc("pooler", batch, hidden, hidden));
+    // WordPiece vocabulary + positions + segments.
+    let embeddings = (30_522 + 512 + 2) * hidden;
+    Model::new(id, name, batch, layers, embeddings)
+}
+
+/// BERT-large: 24 layers, hidden 1024, FFN 4096, sequence 512.
+pub fn build_bert_large(batch: u64) -> Model {
+    bert(ModelId::BertLarge, "bert-large", batch, 512, 1024, 4096, 24)
+}
+
+/// BERT-tiny (edge variant): 4 layers, hidden 312, FFN 1200, sequence 128 —
+/// the TinyBERT-4 configuration, ~14M parameters as in Table 4.
+pub fn build_bert_tiny(batch: u64) -> Model {
+    bert(ModelId::BertTiny, "bert-tiny", batch, 128, 312, 1200, 4)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn t5(
+    id: ModelId,
+    name: &str,
+    batch: u64,
+    seq: u64,
+    hidden: u64,
+    ffn: u64,
+    depth: u32,
+    vocab: u64,
+) -> Model {
+    let mut layers = Vec::new();
+    stack(
+        "enc",
+        batch * seq,
+        StackConfig {
+            hidden,
+            ffn,
+            layers: depth,
+            cross_attention: false,
+        },
+        &mut layers,
+    );
+    stack(
+        "dec",
+        batch * seq,
+        StackConfig {
+            hidden,
+            ffn,
+            layers: depth,
+            cross_attention: true,
+        },
+        &mut layers,
+    );
+    // LM head. T5 ties it with the input embedding, so the shared matrix is
+    // counted once — here, as the head GEMM (its gradient is a dense GEMM).
+    layers.push(Layer::fc("lm_head", batch * seq, hidden, vocab));
+    Model::new(id, name, batch, layers, 0)
+}
+
+/// T5-large: 24+24 layers, hidden 1024, FFN 4096, sequence 512.
+pub fn build_t5_large(batch: u64) -> Model {
+    t5(
+        ModelId::T5Large,
+        "t5-large",
+        batch,
+        512,
+        1024,
+        4096,
+        24,
+        32_128,
+    )
+}
+
+/// T5-small (edge variant): 6+6 layers, hidden 512, FFN 2048, sequence 128.
+pub fn build_t5_small(batch: u64) -> Model {
+    t5(
+        ModelId::T5Small,
+        "t5-small",
+        batch,
+        128,
+        512,
+        2048,
+        6,
+        32_128,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_params_match_table4() {
+        let m = build_bert_large(8);
+        let params = m.params() as f64 / 1e6;
+        assert!(
+            (300.0..360.0).contains(&params),
+            "expected ~340M, got {params:.0}M"
+        );
+    }
+
+    #[test]
+    fn bert_tiny_params_match_table4() {
+        let m = build_bert_tiny(4);
+        let params = m.params() as f64 / 1e6;
+        assert!(
+            (11.0..17.0).contains(&params),
+            "expected ~14M, got {params:.1}M"
+        );
+    }
+
+    #[test]
+    fn t5_large_params_match_table4() {
+        let m = build_t5_large(8);
+        let params = m.params() as f64 / 1e6;
+        assert!(
+            (650.0..820.0).contains(&params),
+            "expected ~770M, got {params:.0}M"
+        );
+    }
+
+    #[test]
+    fn t5_small_params_match_table4() {
+        let m = build_t5_small(4);
+        let params = m.params() as f64 / 1e6;
+        assert!(
+            (50.0..70.0).contains(&params),
+            "expected ~60M, got {params:.0}M"
+        );
+    }
+
+    #[test]
+    fn gemm_rows_are_batch_times_seq() {
+        let m = build_bert_large(8);
+        let qkv = m.layers.iter().find(|l| l.name == "enc_qkv").unwrap();
+        assert_eq!(qkv.gemm.m(), 8 * 512);
+        assert_eq!(qkv.gemm.n(), 3 * 1024);
+        assert_eq!(qkv.count, 24);
+    }
+
+    #[test]
+    fn t5_decoder_has_cross_attention() {
+        let m = build_t5_small(4);
+        assert!(m.layers.iter().any(|l| l.name == "dec_xattn_kv"));
+        assert!(!m.layers.iter().any(|l| l.name == "enc_xattn_kv"));
+    }
+}

@@ -1,0 +1,106 @@
+//! The model zoo: Table 4 dispatch and the edge/server evaluation suites.
+
+use crate::layer::{Model, ModelId};
+use crate::models;
+
+/// Build any zoo model at a given batch size.
+///
+/// ```
+/// use igo_workloads::{zoo, ModelId};
+/// let m = zoo::model(ModelId::Resnet50, 8);
+/// assert_eq!(m.batch, 8);
+/// ```
+pub fn model(id: ModelId, batch: u64) -> Model {
+    match id {
+        ModelId::FasterRcnn => models::rcnn::build(batch),
+        ModelId::GoogleNet => models::googlenet::build(batch),
+        ModelId::Ncf => models::recsys::build_ncf(batch),
+        ModelId::Resnet50 => models::resnet::build(batch),
+        ModelId::Dlrm => models::recsys::build_dlrm(batch),
+        ModelId::MobileNet => models::mobilenet::build(batch),
+        ModelId::YoloV5 => models::yolo::build_v5(batch),
+        ModelId::YoloV2Tiny => models::yolo::build_v2_tiny(batch),
+        ModelId::BertLarge => models::transformer::build_bert_large(batch),
+        ModelId::BertTiny => models::transformer::build_bert_tiny(batch),
+        ModelId::T5Large => models::transformer::build_t5_large(batch),
+        ModelId::T5Small => models::transformer::build_t5_small(batch),
+    }
+}
+
+/// The nine workloads evaluated on the **server** (large) NPU: the large
+/// variants of yolo/bert/T5 (§6.1: "For models with different sizes ... we
+/// utilize different sizes for large NPU and small NPU").
+pub const SERVER_SUITE: [ModelId; 9] = [
+    ModelId::FasterRcnn,
+    ModelId::GoogleNet,
+    ModelId::Ncf,
+    ModelId::Resnet50,
+    ModelId::Dlrm,
+    ModelId::MobileNet,
+    ModelId::YoloV5,
+    ModelId::BertLarge,
+    ModelId::T5Large,
+];
+
+/// The nine workloads evaluated on the **edge** (small) NPU: the tiny/small
+/// variants of yolo/bert/T5.
+pub const EDGE_SUITE: [ModelId; 9] = [
+    ModelId::FasterRcnn,
+    ModelId::GoogleNet,
+    ModelId::Ncf,
+    ModelId::Resnet50,
+    ModelId::Dlrm,
+    ModelId::MobileNet,
+    ModelId::YoloV2Tiny,
+    ModelId::BertTiny,
+    ModelId::T5Small,
+];
+
+/// Build the whole server suite at one batch size.
+pub fn server_suite(batch: u64) -> Vec<Model> {
+    SERVER_SUITE.iter().map(|&id| model(id, batch)).collect()
+}
+
+/// Build the whole edge suite at one batch size.
+pub fn edge_suite(batch: u64) -> Vec<Model> {
+    EDGE_SUITE.iter().map(|&id| model(id, batch)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_builds_at_common_batches() {
+        for id in SERVER_SUITE.iter().chain(EDGE_SUITE.iter()) {
+            for batch in [4, 8] {
+                let m = model(*id, batch);
+                assert_eq!(m.batch, batch);
+                assert!(!m.layers.is_empty());
+                assert!(m.layers[0].is_first);
+            }
+        }
+    }
+
+    #[test]
+    fn suites_have_nine_workloads() {
+        assert_eq!(server_suite(8).len(), 9);
+        assert_eq!(edge_suite(4).len(), 9);
+    }
+
+    #[test]
+    fn suites_differ_only_in_size_variants() {
+        let server: Vec<&str> = SERVER_SUITE.iter().map(|m| m.abbr()).collect();
+        let edge: Vec<&str> = EDGE_SUITE.iter().map(|m| m.abbr()).collect();
+        assert_eq!(server, edge, "same Table 4 families in both suites");
+        assert_ne!(SERVER_SUITE, EDGE_SUITE, "different size variants");
+    }
+
+    #[test]
+    fn layer_names_unique_within_each_model() {
+        // Model::new asserts this; building is the test.
+        for id in SERVER_SUITE {
+            let _ = model(id, 8);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Bring your own model: define layers with the public API, simulate the
+//! technique ladder, and inspect what the scheduler decided per layer.
+//!
+//! Run with `cargo run --release --example custom_model`.
+
+use igo::prelude::*;
+use igo_core::Technique;
+use igo_workloads::Layer;
+
+fn main() {
+    // A small bespoke CNN: stem, two conv stages, a projection head.
+    let batch = 4;
+    let layers = vec![
+        Layer::conv("stem", ConvShape::new(batch, 3, 128, 128, 32, 3, 2, 1)),
+        Layer::conv("stage1", ConvShape::new(batch, 32, 64, 64, 64, 3, 1, 1)).times(2),
+        Layer::conv("down1", ConvShape::new(batch, 64, 64, 64, 128, 3, 2, 1)),
+        Layer::conv("stage2", ConvShape::new(batch, 128, 32, 32, 128, 3, 1, 1)).times(2),
+        Layer::fc("head", batch, 128 * 16 * 16, 256),
+        Layer::fc("classifier", batch, 256, 10),
+    ];
+    let model = Model::new(ModelId::MobileNet, "custom-cnn", batch, layers, 0);
+    println!("{model}\n");
+
+    let config = NpuConfig::small_edge();
+    let base = simulate_model(&model, &config, Technique::Baseline);
+    let ours = simulate_model(&model, &config, Technique::DataPartitioning);
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}  {:<22} order",
+        "layer", "base cyc", "ours cyc", "ratio", "partition"
+    );
+    for (b, o) in base.layers.iter().zip(&ours.layers) {
+        let scheme = o
+            .decision
+            .partition
+            .map(|(s, p)| format!("{s} x{p}"))
+            .unwrap_or_else(|| "-".to_owned());
+        println!(
+            "{:<12} {:>12} {:>12} {:>8.3}  {:<22} {:?}",
+            b.name,
+            b.backward.cycles,
+            o.backward.cycles,
+            o.backward.cycles as f64 / b.backward.cycles as f64,
+            scheme,
+            o.decision.order,
+        );
+    }
+    println!(
+        "\ntraining step: {} -> {} cycles ({:.1}% faster); backward dY share of reads: {:.1}%",
+        base.total_cycles(),
+        ours.total_cycles(),
+        (1.0 - ours.normalized_to(&base)) * 100.0,
+        base.backward_traffic().read_ratio(TensorClass::OutGrad) * 100.0,
+    );
+}

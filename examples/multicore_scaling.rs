@@ -1,0 +1,49 @@
+//! Multi-core server scaling (the paper's §6.3 scenario).
+//!
+//! Scales the large NPU from one to eight cores — DRAM bandwidth, shared
+//! SPM and batch size grow with the core count, as on TPUv4-style parts —
+//! and compares conventional batch-parallel execution against the full
+//! interleaved-gradient-order stack with per-layer partition selection.
+//!
+//! Run with `cargo run --release --example multicore_scaling`.
+
+use igo::prelude::*;
+use igo_core::{PartitionScheme, Technique};
+
+fn main() {
+    let id = ModelId::BertLarge;
+    println!("workload: {id} (server variant)\n");
+    println!(
+        "{:>6} {:>10} {:>14} {:>14} {:>12}",
+        "cores", "batch", "baseline(ms)", "ours(ms)", "improvement"
+    );
+    for cores in [1u32, 2, 4, 8] {
+        let config = NpuConfig::large_server(cores);
+        let model = zoo::model(id, config.default_batch());
+        let base = simulate_model(&model, &config, Technique::Baseline);
+        let ours = simulate_model(&model, &config, Technique::DataPartitioning);
+        println!(
+            "{:>6} {:>10} {:>14.2} {:>14.2} {:>11.1}%",
+            cores,
+            config.default_batch(),
+            base.total_cycles() as f64 / config.freq_hz * 1e3,
+            ours.total_cycles() as f64 / config.freq_hz * 1e3,
+            (1.0 - ours.normalized_to(&base)) * 100.0
+        );
+    }
+
+    // What did the partition selector pick on the quad-core?
+    let config = NpuConfig::large_server(4);
+    let model = zoo::model(id, config.default_batch());
+    let ours = simulate_model(&model, &config, Technique::DataPartitioning);
+    println!("\nquad-core per-layer partitioning decisions:");
+    for layer in &ours.layers {
+        let scheme = layer
+            .decision
+            .partition
+            .map(|(s, p)| format!("{s} x{p}"))
+            .unwrap_or_else(|| "unpartitioned".to_owned());
+        println!("  {:<16} {:<24} order {:?}", layer.name, scheme, layer.decision.order);
+    }
+    let _ = PartitionScheme::ALL; // re-exported for users writing their own selectors
+}

@@ -1,0 +1,45 @@
+//! Quickstart: simulate one training step of ResNet-50 on the paper's two
+//! NPU configurations and print the Figure-12-style technique ladder.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use igo::prelude::*;
+use igo_core::Technique;
+
+fn main() {
+    for config in [NpuConfig::small_edge(), NpuConfig::large_single_core()] {
+        println!("== {config}");
+        let model = zoo::model(ModelId::Resnet50, config.default_batch());
+        println!("   model: {model}");
+
+        let baseline = simulate_model(&model, &config, Technique::Baseline);
+        println!(
+            "   {:<22} {:>14} cycles  (fwd {:>5.1}% / bwd {:>5.1}%)",
+            "Baseline",
+            baseline.total_cycles(),
+            100.0 * baseline.forward_cycles() as f64 / baseline.total_cycles() as f64,
+            100.0 * baseline.backward_cycles() as f64 / baseline.total_cycles() as f64,
+        );
+
+        for technique in [
+            Technique::Interleaving,
+            Technique::Rearrangement,
+            Technique::DataPartitioning,
+        ] {
+            let report = simulate_model(&model, &config, technique);
+            println!(
+                "   {:<22} {:>14} cycles  ({:>5.1}% faster than baseline)",
+                technique.label(),
+                report.total_cycles(),
+                100.0 * (1.0 - report.normalized_to(&baseline)),
+            );
+        }
+
+        let traffic = baseline.backward_traffic();
+        println!(
+            "   backward dY traffic: {:.1}% of reads, {:.1}% of all bytes",
+            100.0 * traffic.read_ratio(TensorClass::OutGrad),
+            100.0 * traffic.total_ratio(TensorClass::OutGrad),
+        );
+    }
+}

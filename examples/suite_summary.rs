@@ -1,0 +1,44 @@
+//! Internal calibration aid: Figure-12-style suite summary.
+use igo_core::{simulate_model, Technique};
+use igo_npu_sim::NpuConfig;
+use igo_workloads::zoo;
+
+fn main() {
+    for (config, suite) in [
+        (NpuConfig::small_edge(), zoo::edge_suite(4)),
+        (NpuConfig::large_single_core(), zoo::server_suite(8)),
+    ] {
+        println!("== {}", config.name);
+        let mut means = [0.0f64; 3];
+        for model in &suite {
+            let base = simulate_model(model, &config, Technique::Baseline);
+            let mut row = format!("{:>6}", model.id.abbr().to_string());
+            for (idx, technique) in [
+                Technique::Interleaving,
+                Technique::Rearrangement,
+                Technique::DataPartitioning,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let r = simulate_model(model, &config, technique);
+                let norm = r.normalized_to(&base);
+                means[idx] += norm;
+                row += &format!(" {norm:>7.3}");
+            }
+            println!("{row}");
+        }
+        for m in &mut means {
+            *m /= suite.len() as f64;
+        }
+        println!(
+            "  mean: inter {:.3} ({:+.1}%), rearr {:.3} ({:+.1}%), part {:.3} ({:+.1}%)",
+            means[0],
+            (1.0 - means[0]) * 100.0,
+            means[1],
+            (1.0 - means[1]) * 100.0,
+            means[2],
+            (1.0 - means[2]) * 100.0
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: workloads -> core transformations ->
+//! simulator, end to end.
+
+use igo::prelude::*;
+use igo_core::Technique;
+
+fn dy_heavy_model() -> Model {
+    use igo_workloads::Layer;
+    let batch = 8;
+    Model::new(
+        ModelId::Resnet50,
+        "dy-heavy",
+        batch,
+        vec![
+            Layer::conv("stem", ConvShape::new(batch, 3, 112, 112, 64, 3, 2, 1)),
+            Layer::conv("expand", ConvShape::new(batch, 64, 56, 56, 256, 1, 1, 0)).times(3),
+            Layer::conv("reduce", ConvShape::new(batch, 256, 56, 56, 64, 1, 1, 0)).times(3),
+        ],
+        0,
+    )
+}
+
+#[test]
+fn full_ladder_improves_dy_heavy_model_on_both_configs() {
+    for config in [NpuConfig::small_edge(), NpuConfig::large_single_core()] {
+        let model = dy_heavy_model();
+        let base = simulate_model(&model, &config, Technique::Baseline);
+        let ours = simulate_model(&model, &config, Technique::DataPartitioning);
+        assert!(
+            ours.total_cycles() < base.total_cycles(),
+            "{}: {} !< {}",
+            config.name,
+            ours.total_cycles(),
+            base.total_cycles()
+        );
+        // The paper's mechanism: the improvement comes from dY traffic.
+        let dy_base = base.backward_traffic().read(TensorClass::OutGrad);
+        let dy_ours = ours.backward_traffic().read(TensorClass::OutGrad);
+        assert!(dy_ours < dy_base, "{}: dY reads must shrink", config.name);
+    }
+}
+
+#[test]
+fn forward_pass_is_technique_independent() {
+    let config = NpuConfig::large_single_core();
+    let model = dy_heavy_model();
+    let a = simulate_model(&model, &config, Technique::Baseline);
+    let b = simulate_model(&model, &config, Technique::DataPartitioning);
+    assert_eq!(a.forward_cycles(), b.forward_cycles());
+}
+
+#[test]
+fn compute_work_is_invariant_across_techniques() {
+    let config = NpuConfig::small_edge();
+    let model = dy_heavy_model();
+    let reference = simulate_model(&model, &config, Technique::Baseline);
+    for technique in [
+        Technique::Interleaving,
+        Technique::Rearrangement,
+        Technique::RearrangementOracle,
+    ] {
+        let r = simulate_model(&model, &config, technique);
+        for (a, b) in reference.layers.iter().zip(&r.layers) {
+            assert_eq!(
+                a.backward.macs, b.backward.macs,
+                "{technique}: layer {} changed its math",
+                a.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_zoo_model_simulates_on_its_target_config() {
+    // Smoke coverage: each Table 4 entry builds and runs the baseline on
+    // the configuration the paper evaluates it with.
+    let edge = NpuConfig::small_edge();
+    let server = NpuConfig::large_single_core();
+    for id in igo_workloads::zoo::EDGE_SUITE {
+        let model = zoo::model(id, edge.default_batch());
+        let r = simulate_model(&model, &edge, Technique::Baseline);
+        assert!(r.total_cycles() > 0, "{id} on edge");
+    }
+    for id in igo_workloads::zoo::SERVER_SUITE {
+        let model = zoo::model(id, server.default_batch());
+        let r = simulate_model(&model, &server, Technique::Baseline);
+        assert!(r.total_cycles() > 0, "{id} on server");
+    }
+}
+
+#[test]
+fn multicore_beats_single_core_in_absolute_time() {
+    // More cores, more bandwidth, bigger batch: a step with 4x the batch
+    // on 4 cores should take less than 4x the single-core time of a
+    // 1x-batch step (weak scaling sanity).
+    let single = NpuConfig::large_single_core();
+    let quad = NpuConfig::large_server(4);
+    let model_1 = zoo::model(ModelId::Resnet50, single.default_batch());
+    let model_4 = zoo::model(ModelId::Resnet50, quad.default_batch());
+    let t1 = simulate_model(&model_1, &single, Technique::Baseline).total_cycles();
+    let t4 = simulate_model(&model_4, &quad, Technique::Baseline).total_cycles();
+    assert!(
+        t4 < 4 * t1,
+        "quad-core with 4x batch must beat 4x single-core time: {t4} vs {}",
+        4 * t1
+    );
+}
+
+#[test]
+fn bandwidth_starvation_increases_gains() {
+    // Figure 15's mechanism as an invariant: cutting bandwidth must not
+    // shrink the relative benefit of the techniques.
+    let model = dy_heavy_model();
+    let full = NpuConfig::large_single_core();
+    let quarter = NpuConfig::large_single_core().with_bandwidth_scale(0.25);
+    let gain = |config: &NpuConfig| {
+        let base = simulate_model(&model, config, Technique::DataPartitioning)
+            .normalized_to(&simulate_model(&model, config, Technique::Baseline));
+        1.0 - base
+    };
+    let g_full = gain(&full);
+    let g_quarter = gain(&quarter);
+    assert!(
+        g_quarter >= g_full - 0.01,
+        "gains at 0.25x BW ({g_quarter:.3}) should not collapse vs 1x ({g_full:.3})"
+    );
+}
+
+#[test]
+fn report_traffic_is_self_consistent() {
+    let config = NpuConfig::small_edge();
+    let model = dy_heavy_model();
+    let r = simulate_model(&model, &config, Technique::Baseline);
+    let bwd = r.backward_traffic();
+    let total = r.total_traffic();
+    assert!(total.total() >= bwd.total());
+    assert!(bwd.read(TensorClass::OutGrad) > 0);
+    // Results must be written out: dX and dW traffic exists.
+    assert!(bwd.write(TensorClass::InGrad) > 0);
+    assert!(bwd.write(TensorClass::WGrad) > 0);
+}

@@ -1,0 +1,148 @@
+//! Integration tests pinning the paper's qualitative claims — the *shape*
+//! of every reproduced result. These are the assertions EXPERIMENTS.md is
+//! built on: who wins, in which direction sensitivities move, and where
+//! the mechanisms bite. (Absolute magnitudes are recorded, not asserted;
+//! see EXPERIMENTS.md for the paper-vs-measured table.)
+
+use igo::prelude::*;
+use igo_core::Technique;
+use igo_tensor::GemmShape;
+
+fn edge_suite_subset() -> Vec<Model> {
+    // A fast, representative subset for CI-speed assertions.
+    [ModelId::Resnet50, ModelId::MobileNet, ModelId::BertTiny]
+        .into_iter()
+        .map(|id| zoo::model(id, 4))
+        .collect()
+}
+
+fn mean_normalized(models: &[Model], config: &NpuConfig, technique: Technique) -> f64 {
+    let mut sum = 0.0;
+    for model in models {
+        let base = simulate_model(model, config, Technique::Baseline);
+        sum += simulate_model(model, config, technique).normalized_to(&base);
+    }
+    sum / models.len() as f64
+}
+
+#[test]
+fn figure12_full_stack_wins_on_both_configs() {
+    let edge = NpuConfig::small_edge();
+    let models = edge_suite_subset();
+    let part = mean_normalized(&models, &edge, Technique::DataPartitioning);
+    assert!(part < 1.0, "edge full stack must win on average: {part:.3}");
+
+    let server = NpuConfig::large_single_core();
+    let models: Vec<Model> = [ModelId::Resnet50, ModelId::GoogleNet, ModelId::Ncf]
+        .into_iter()
+        .map(|id| zoo::model(id, 8))
+        .collect();
+    let part = mean_normalized(&models, &server, Technique::DataPartitioning);
+    assert!(part < 1.0, "server full stack must win on average: {part:.3}");
+}
+
+#[test]
+fn figure12_ladder_is_cumulative_on_average() {
+    let config = NpuConfig::small_edge();
+    let models = edge_suite_subset();
+    let rearr = mean_normalized(&models, &config, Technique::Rearrangement);
+    let part = mean_normalized(&models, &config, Technique::DataPartitioning);
+    assert!(
+        part <= rearr + 1e-9,
+        "+DataPartitioning ({part:.3}) must not lose to +Rearrangement ({rearr:.3})"
+    );
+}
+
+#[test]
+fn figure5_dy_dominates_backward_reads() {
+    // Paper: dY is ~51% of backward reads on the large NPU.
+    let config = NpuConfig::large_single_core();
+    let model = zoo::model(ModelId::Resnet50, 8);
+    let t = simulate_model(&model, &config, Technique::Baseline).backward_traffic();
+    let ratio = t.read_ratio(TensorClass::OutGrad);
+    assert!(
+        (0.3..0.85).contains(&ratio),
+        "dY read share out of the paper's regime: {ratio:.2}"
+    );
+}
+
+#[test]
+fn figure6_ideal_reuse_speedup_larger_on_small_npu() {
+    // Paper: 1.70x on the small NPU vs 1.43x on the large one — less SPM,
+    // more to gain.
+    let model_small = zoo::model(ModelId::Resnet50, 4);
+    let model_large = zoo::model(ModelId::Resnet50, 8);
+    let speedup = |model: &Model, config: &NpuConfig| {
+        let base = simulate_model(model, config, Technique::Baseline);
+        let ideal = simulate_model(model, config, Technique::IdealDyReuse);
+        base.total_cycles() as f64 / ideal.total_cycles() as f64
+    };
+    let s_small = speedup(&model_small, &NpuConfig::small_edge());
+    let s_large = speedup(&model_large, &NpuConfig::large_single_core());
+    assert!(s_small > 1.0 && s_large > 1.0);
+    assert!(
+        s_small > s_large,
+        "small NPU should gain more: {s_small:.3} vs {s_large:.3}"
+    );
+}
+
+#[test]
+fn figure15_gains_grow_as_bandwidth_shrinks() {
+    let model = zoo::model(ModelId::Resnet50, 8);
+    let norm = |scale: f64| {
+        let config = NpuConfig::large_single_core().with_bandwidth_scale(scale);
+        let base = simulate_model(&model, &config, Technique::Baseline);
+        simulate_model(&model, &config, Technique::DataPartitioning).normalized_to(&base)
+    };
+    let at_full = norm(1.0);
+    let at_quarter = norm(0.25);
+    assert!(
+        at_quarter <= at_full + 0.01,
+        "quarter-bandwidth gains must not shrink: {at_quarter:.3} vs {at_full:.3}"
+    );
+}
+
+#[test]
+fn figure16_batch_size_does_not_flip_the_result() {
+    // Paper: improvements are flat in batch size.
+    for batch in [8u64, 16, 32] {
+        let config = NpuConfig::large_single_core().with_batch_per_core(batch);
+        let model = zoo::model(ModelId::Resnet50, batch);
+        let base = simulate_model(&model, &config, Technique::Baseline);
+        let ours = simulate_model(&model, &config, Technique::DataPartitioning);
+        assert!(
+            ours.normalized_to(&base) < 1.0,
+            "batch {batch}: full stack must still win"
+        );
+    }
+}
+
+#[test]
+fn first_layer_never_interleaved() {
+    let config = NpuConfig::large_single_core();
+    let model = zoo::model(ModelId::YoloV2Tiny, 8);
+    let r = simulate_model(&model, &config, Technique::Rearrangement);
+    // First layer's backward is the dW-only pass: exactly M*K*N MACs.
+    let first = &r.layers[0];
+    assert_eq!(first.backward.macs, model.layers[0].gemm.macs());
+}
+
+#[test]
+fn algorithm1_matches_paper_examples() {
+    use igo_core::select_order;
+    use igo_tensor::TraversalOrder;
+    // Square-ish -> plain interleaving; K-dominant -> dWmajor;
+    // M-dominant shallow conv -> dXmajor.
+    assert_eq!(
+        select_order(GemmShape::new(512, 512, 512)),
+        TraversalOrder::Traditional
+    );
+    assert_eq!(
+        select_order(GemmShape::new(392, 4608, 512)),
+        TraversalOrder::DwMajor
+    );
+    assert_eq!(
+        select_order(GemmShape::new(100_352, 147, 64)),
+        TraversalOrder::DxMajor
+    );
+}

@@ -1,0 +1,181 @@
+//! Property-based invariants of the schedule transformations: whatever
+//! the shape, the paper's reorderings must never change the computation —
+//! only the memory behaviour.
+
+use igo_core::{
+    partition::{partition_backward, PartitionScheme},
+    BackwardBuilder, BackwardOrder, LayerTensors, TilePolicy,
+};
+use igo_npu_sim::{Engine, NpuConfig, Schedule, ScheduleOp};
+use igo_tensor::{GemmShape, TensorClass};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn policy() -> TilePolicy {
+    TilePolicy::for_config(&NpuConfig::large_single_core())
+}
+
+fn build(gemm: GemmShape, order: BackwardOrder) -> Schedule {
+    let mut s = Schedule::new("prop");
+    let tensors = LayerTensors::register(&mut s, "l");
+    BackwardBuilder::new(gemm, policy(), tensors).emit(order, false, &mut s);
+    s
+}
+
+/// Collect the set of (class, coord) accumulator tiles a schedule writes.
+fn result_tiles(s: &Schedule) -> HashSet<(TensorClass, u32, u32)> {
+    s.ops()
+        .iter()
+        .filter_map(|op| match op {
+            ScheduleOp::Gemm(g) => g.acc.map(|a| {
+                (
+                    s.class_of(a.key.tensor),
+                    a.key.coord.r,
+                    a.key.coord.c,
+                )
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+const ORDERS: [BackwardOrder; 4] = [
+    BackwardOrder::Baseline,
+    BackwardOrder::Interleaved,
+    BackwardOrder::DxMajor,
+    BackwardOrder::DwMajor,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every ordering performs exactly the backward MACs of the layer.
+    #[test]
+    fn orders_preserve_macs(
+        m in 1u64..2000,
+        k in 1u64..1500,
+        n in 1u64..1500,
+    ) {
+        let gemm = GemmShape::new(m, k, n);
+        for order in ORDERS {
+            let s = build(gemm, order);
+            prop_assert_eq!(
+                s.total_macs(),
+                gemm.backward_macs(),
+                "{:?} on {}",
+                order,
+                gemm
+            );
+        }
+    }
+
+    /// Every ordering covers exactly the same result tiles (full dX and
+    /// dW grids, nothing else).
+    #[test]
+    fn orders_cover_identical_results(
+        m in 1u64..1200,
+        k in 1u64..900,
+        n in 1u64..900,
+    ) {
+        let gemm = GemmShape::new(m, k, n);
+        let reference = result_tiles(&build(gemm, BackwardOrder::Baseline));
+        let dx_tiles = gemm.dx_grid(policy().tile).num_tiles();
+        let dw_tiles = gemm.dw_grid(policy().tile).num_tiles();
+        prop_assert_eq!(reference.len() as u64, dx_tiles + dw_tiles);
+        for order in ORDERS {
+            prop_assert_eq!(
+                result_tiles(&build(gemm, order)),
+                reference.clone(),
+                "{:?}",
+                order
+            );
+        }
+    }
+
+    /// Simulated traffic never underruns the compulsory minimum: every
+    /// distinct operand tile fetched at least once, every result tile
+    /// written at least once.
+    #[test]
+    fn traffic_respects_compulsory_bounds(
+        m in 64u64..1200,
+        k in 64u64..900,
+        n in 64u64..900,
+    ) {
+        let gemm = GemmShape::new(m, k, n);
+        let config = NpuConfig::large_single_core();
+        let engine = Engine::new(&config);
+        for order in ORDERS {
+            let s = build(gemm, order);
+            let r = engine.run(&s);
+            prop_assert!(
+                r.traffic.read_total() >= s.unique_operand_bytes(),
+                "{:?}: reads {} < unique operands {}",
+                order,
+                r.traffic.read_total(),
+                s.unique_operand_bytes()
+            );
+            let results =
+                gemm.dx_dims().bytes(policy().dtype) + gemm.dw_dims().bytes(policy().dtype);
+            prop_assert!(
+                r.traffic.write_total() >= results,
+                "{:?}: writes {} < results {}",
+                order,
+                r.traffic.write_total(),
+                results
+            );
+        }
+    }
+
+    /// Partitioning preserves MACs and the reduction matches the scheme.
+    #[test]
+    fn partitions_preserve_macs(
+        m in 8u64..800,
+        k in 8u64..600,
+        n in 8u64..600,
+        parts in 2u64..5,
+    ) {
+        let gemm = GemmShape::new(m, k, n);
+        let mut proto = Schedule::new("p");
+        let tensors = LayerTensors::register(&mut proto, "l");
+        for scheme in PartitionScheme::ALL {
+            let p = partition_backward(
+                &proto,
+                tensors,
+                gemm,
+                policy(),
+                scheme,
+                parts,
+                BackwardOrder::Interleaved,
+                false,
+            );
+            let macs: u64 = p.schedules.iter().map(|s| s.total_macs()).sum();
+            prop_assert_eq!(macs, gemm.backward_macs(), "{}", scheme);
+            match scheme {
+                PartitionScheme::IfmapSharing => prop_assert!(p.reduction.is_none()),
+                _ => prop_assert!(p.reduction.is_some()),
+            }
+        }
+    }
+
+    /// The interleaved schedule always reads no more dY bytes than the
+    /// barrier-separated baseline.
+    #[test]
+    fn interleaving_never_inflates_dy(
+        m in 64u64..1500,
+        k in 64u64..800,
+        n in 64u64..800,
+    ) {
+        let gemm = GemmShape::new(m, k, n);
+        let config = NpuConfig::large_single_core();
+        let engine = Engine::new(&config);
+        let base = engine.run(&build(gemm, BackwardOrder::Baseline));
+        let inter = engine.run(&build(gemm, BackwardOrder::Interleaved));
+        prop_assert!(
+            inter.traffic.read(TensorClass::OutGrad)
+                <= base.traffic.read(TensorClass::OutGrad),
+            "dY reads: inter {} vs base {}",
+            inter.traffic.read(TensorClass::OutGrad),
+            base.traffic.read(TensorClass::OutGrad)
+        );
+    }
+}
