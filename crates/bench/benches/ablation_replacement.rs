@@ -12,7 +12,13 @@ use igo_npu_sim::{Engine, NpuConfig, Replacement, Schedule};
 use igo_tensor::GemmShape;
 use igo_workloads::zoo;
 
-fn run(gemm: GemmShape, density: f64, config: &NpuConfig, order: BackwardOrder, repl: Replacement) -> u64 {
+fn run(
+    gemm: GemmShape,
+    density: f64,
+    config: &NpuConfig,
+    order: BackwardOrder,
+    repl: Replacement,
+) -> u64 {
     let policy = TilePolicy::for_config(config);
     let mut s = Schedule::new("abl");
     let tensors = LayerTensors::register(&mut s, "l");
@@ -36,11 +42,35 @@ fn main() {
     let mut opt_gain = Vec::new();
     let mut lru_gain = Vec::new();
     for layer in model.layers.iter().filter(|l| !l.is_first).take(12) {
-        let b_opt = run(layer.gemm, layer.ifmap_density, &config, BackwardOrder::Baseline, Replacement::Opt);
-        let b_lru = run(layer.gemm, layer.ifmap_density, &config, BackwardOrder::Baseline, Replacement::Lru);
+        let b_opt = run(
+            layer.gemm,
+            layer.ifmap_density,
+            &config,
+            BackwardOrder::Baseline,
+            Replacement::Opt,
+        );
+        let b_lru = run(
+            layer.gemm,
+            layer.ifmap_density,
+            &config,
+            BackwardOrder::Baseline,
+            Replacement::Lru,
+        );
         let order = BackwardOrder::from(igo_core::select_order(layer.gemm));
-        let r_opt = run(layer.gemm, layer.ifmap_density, &config, order, Replacement::Opt);
-        let r_lru = run(layer.gemm, layer.ifmap_density, &config, order, Replacement::Lru);
+        let r_opt = run(
+            layer.gemm,
+            layer.ifmap_density,
+            &config,
+            order,
+            Replacement::Opt,
+        );
+        let r_lru = run(
+            layer.gemm,
+            layer.ifmap_density,
+            &config,
+            order,
+            Replacement::Lru,
+        );
         let g_opt = 1.0 - r_opt as f64 / b_opt as f64;
         let g_lru = 1.0 - r_lru as f64 / b_lru as f64;
         opt_gain.push(g_opt);

@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks: simulator throughput and transformation
-//! cost. These measure the *reproduction's own* performance (ops/sec of
-//! the engine, schedule-generation cost, KNN prediction latency), not the
-//! paper's results.
+//! Micro-benchmarks: simulator throughput and transformation cost. These
+//! measure the *reproduction's own* performance (ops/sec of the engine,
+//! schedule-generation cost, KNN prediction latency), not the paper's
+//! results. Timed with the in-repo `igo_bench::wallclock` helper so the
+//! harness needs no external benchmarking crate.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use igo_bench::wallclock::time_per_iter;
 use igo_core::{BackwardBuilder, BackwardOrder, LayerTensors, TilePolicy};
 use igo_knn::Classifier;
 use igo_npu_sim::{Engine, NpuConfig, Schedule};
@@ -19,46 +20,43 @@ fn build_backward(order: BackwardOrder) -> Schedule {
     s
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
+    igo_bench::header(
+        "Micro-benchmarks — engine / schedule-build / KNN throughput",
+        "reproduction-internal performance, no paper counterpart",
+    );
+
     let config = NpuConfig::large_single_core();
     let engine = Engine::new(&config);
     let schedule = build_backward(BackwardOrder::Baseline);
-    let mut group = c.benchmark_group("engine");
-    group.throughput(Throughput::Elements(schedule.len() as u64));
-    group.bench_function("run_bert_ffn_baseline", |b| {
-        b.iter(|| engine.run(std::hint::black_box(&schedule)))
+    let t = time_per_iter(50, || {
+        std::hint::black_box(engine.run(std::hint::black_box(&schedule)));
     });
-    group.finish();
-}
+    println!(
+        "engine/run_bert_ffn_baseline : {:>10.1} us/iter ({:.0} ops/sec over {} ops)",
+        t * 1e6,
+        schedule.len() as f64 / t,
+        schedule.len()
+    );
 
-fn bench_schedule_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule_build");
     for (name, order) in [
         ("baseline", BackwardOrder::Baseline),
         ("interleaved", BackwardOrder::Interleaved),
         ("dx_major", BackwardOrder::DxMajor),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| build_backward(std::hint::black_box(order)))
+        let t = time_per_iter(50, || {
+            std::hint::black_box(build_backward(std::hint::black_box(order)));
         });
+        println!("schedule_build/{name:<12} : {:>10.1} us/iter", t * 1e6);
     }
-    group.finish();
-}
 
-fn bench_knn(c: &mut Criterion) {
     let features: Vec<Vec<f64>> = (0..200)
         .map(|i| vec![(i % 17) as f64, (i % 5) as f64, (i % 29) as f64])
         .collect();
     let labels: Vec<u8> = (0..200).map(|i| (i % 3) as u8).collect();
     let knn = Classifier::fit(3, features, labels).expect("valid training set");
-    c.bench_function("knn_predict", |b| {
-        b.iter(|| knn.predict(std::hint::black_box(&[3.0, 2.0, 11.0])))
+    let t = time_per_iter(10_000, || {
+        std::hint::black_box(knn.predict(std::hint::black_box(&[3.0, 2.0, 11.0])));
     });
+    println!("knn_predict                  : {:>10.3} us/iter", t * 1e6);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_engine, bench_schedule_build, bench_knn
-}
-criterion_main!(benches);

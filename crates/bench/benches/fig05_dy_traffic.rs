@@ -16,10 +16,7 @@ fn main() {
     );
     let config = NpuConfig::large_single_core();
     let suite = zoo::server_suite(config.default_batch());
-    println!(
-        "{:<6} {:>16} {:>12}",
-        "model", "read+write", "read-only"
-    );
+    println!("{:<6} {:>16} {:>12}", "model", "read+write", "read-only");
     let mut rw = Vec::new();
     let mut ro = Vec::new();
     for model in &suite {

@@ -34,9 +34,7 @@ fn main() {
         "KNN accuracy (1000 x 80/20): {:.1}%   <- paper: ~91%",
         out.accuracy * 100.0
     );
-    println!(
-        "test-set improvement vs conventional weight-sharing partitioning:"
-    );
+    println!("test-set improvement vs conventional weight-sharing partitioning:");
     println!(
         "  oracle selection : {}   <- paper: 22.4%",
         igo_bench::improvement(out.ideal_cycles as f64 / out.reference_cycles as f64)

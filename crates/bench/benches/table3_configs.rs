@@ -5,7 +5,10 @@ use igo_npu_sim::NpuConfig;
 
 fn print_config(label: &str, c: &NpuConfig) {
     println!("{label}");
-    println!("  compute unit        {} x ({} x {} PE)", c.cores, c.pe.rows, c.pe.cols);
+    println!(
+        "  compute unit        {} x ({} x {} PE)",
+        c.cores, c.pe.rows, c.pe.cols
+    );
     println!(
         "  DRAM bandwidth      {:.0} GB/s total ({:.0} GB/s per core)",
         c.dram.bandwidth_bytes_per_sec / 1e9,
@@ -17,7 +20,11 @@ fn print_config(label: &str, c: &NpuConfig) {
         c.spm_bytes >> 20,
         c.spm_bytes_per_core() >> 20
     );
-    println!("  batch               {} ({} per core)", c.default_batch(), c.batch_per_core);
+    println!(
+        "  batch               {} ({} per core)",
+        c.default_batch(),
+        c.batch_per_core
+    );
 }
 
 fn main() {
@@ -25,9 +32,18 @@ fn main() {
         "Table 3 — NPU configurations",
         "Small NPU: 45x45 PE, 22 GB/s, 1 GHz, 1 MB; Large NPU: 1-8 x 128x128 PE, 150 GB/s/core, 1050 MHz, 8 MB/core",
     );
-    print_config("Small NPU (edge, ARM Ethos-N77-class):", &NpuConfig::small_edge());
+    print_config(
+        "Small NPU (edge, ARM Ethos-N77-class):",
+        &NpuConfig::small_edge(),
+    );
     println!();
-    print_config("Large NPU x1 (server, TPU-class):", &NpuConfig::large_single_core());
+    print_config(
+        "Large NPU x1 (server, TPU-class):",
+        &NpuConfig::large_single_core(),
+    );
     println!();
-    print_config("Large NPU x4 (the Figure 14 quad-core):", &NpuConfig::large_server(4));
+    print_config(
+        "Large NPU x4 (the Figure 14 quad-core):",
+        &NpuConfig::large_server(4),
+    );
 }

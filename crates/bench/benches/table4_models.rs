@@ -23,7 +23,10 @@ fn row(id: ModelId, batch: u64, paper_params: &str) {
 }
 
 fn main() {
-    igo_bench::header("Table 4 — evaluated DNN models", "parameter counts per Table 4");
+    igo_bench::header(
+        "Table 4 — evaluated DNN models",
+        "parameter counts per Table 4",
+    );
     println!("-- server-suite variants (batch 8) --");
     row(ModelId::FasterRcnn, 8, "19M");
     row(ModelId::GoogleNet, 8, "62M");

@@ -45,6 +45,91 @@ pub fn abbr(model: &Model) -> String {
     format!("{:>5}", model.id.abbr())
 }
 
+/// Self-measurement: wall-clock timing plus a machine-readable JSON summary
+/// of the simulator's own throughput (layers/sec, engine runs, cache
+/// hit-rate). The CLI's `--timing` flag and the micro-benchmarks both feed
+/// off this module, so the perf trajectory of successive PRs is comparable.
+pub mod wallclock {
+    use std::time::Instant;
+
+    /// Run `f` once, returning its result and the elapsed wall seconds.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (R, f64) {
+        let start = Instant::now();
+        let out = f();
+        (out, start.elapsed().as_secs_f64())
+    }
+
+    /// Mean seconds per iteration of `f` over `iters` runs (plus one
+    /// untimed warm-up run).
+    pub fn time_per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
+        assert!(iters > 0);
+        f();
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_secs_f64() / iters as f64
+    }
+
+    /// One timed simulation run, summarised for machines.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Timing {
+        /// What was timed (e.g. `sweep:res:server`).
+        pub label: String,
+        /// Elapsed wall-clock seconds.
+        pub wall_seconds: f64,
+        /// Distinct layer simulations requested (layer × phase counts).
+        pub layers: u64,
+        /// `Engine::run` invocations actually executed.
+        pub engine_runs: u64,
+        /// Layer-level memo-cache hits.
+        pub cache_hits: u64,
+        /// Layer-level memo-cache misses.
+        pub cache_misses: u64,
+    }
+
+    impl Timing {
+        /// Layers simulated per wall-clock second.
+        pub fn layers_per_sec(&self) -> f64 {
+            if self.wall_seconds > 0.0 {
+                self.layers as f64 / self.wall_seconds
+            } else {
+                f64::INFINITY
+            }
+        }
+
+        /// Fraction of layer simulations served from the memo cache.
+        pub fn cache_hit_rate(&self) -> f64 {
+            let total = self.cache_hits + self.cache_misses;
+            if total == 0 {
+                0.0
+            } else {
+                self.cache_hits as f64 / total as f64
+            }
+        }
+
+        /// Hand-rolled single-line JSON (the workspace carries no serializer
+        /// dependency by design).
+        pub fn to_json(&self) -> String {
+            format!(
+                concat!(
+                    "{{\"label\":\"{}\",\"wall_seconds\":{:.6},\"layers\":{},",
+                    "\"layers_per_sec\":{:.2},\"engine_runs\":{},",
+                    "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4}}}"
+                ),
+                self.label.replace('"', "'"),
+                self.wall_seconds,
+                self.layers,
+                self.layers_per_sec(),
+                self.engine_runs,
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_hit_rate(),
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +143,22 @@ mod tests {
     #[test]
     fn mean_of_values() {
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_json_is_well_formed() {
+        let t = wallclock::Timing {
+            label: "sweep:res".into(),
+            wall_seconds: 2.0,
+            layers: 100,
+            engine_runs: 400,
+            cache_hits: 30,
+            cache_misses: 70,
+        };
+        let json = t.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"layers_per_sec\":50.00"));
+        assert!(json.contains("\"cache_hit_rate\":0.3000"));
+        assert!((t.cache_hit_rate() - 0.3).abs() < 1e-12);
     }
 }

@@ -5,16 +5,23 @@
 //! igo-sim ladder  <model> <config>            technique ladder for one model
 //! igo-sim layer   <M> <K> <N> <config>        per-order comparison of one layer
 //! igo-sim sweep   <model>                     bandwidth sweep on the large NPU
+//! igo-sim perf    [edge|server|all]           pipeline self-measurement
 //! ```
 //!
 //! `<config>` is `edge`, `server`, or `serverxN` (N cores, 1..=8).
 //! `<model>` is a Table-4 abbreviation (`res`, `goo`, `mob`, `rcnn`, `ncf`,
 //! `dlrm`, `yolo`, `yolo-tiny`, `bert`, `bert-tiny`, `t5`, `t5-small`).
+//!
+//! The global `--timing` flag appends one JSON line to stderr with the
+//! command's wall-clock time, engine-run count and memo-cache hit rate
+//! (see `igo_bench::wallclock::Timing`).
 
+use igo_bench::wallclock::{measure, Timing};
 use igo_core::{
-    select_order, simulate_layer_backward, simulate_model, BackwardOrder, Technique,
+    select_order, sim_cache_stats, simulate_layer_backward, simulate_model, simulate_model_with,
+    BackwardOrder, ModelReport, SimOptions, Technique,
 };
-use igo_npu_sim::NpuConfig;
+use igo_npu_sim::{engine_run_count, NpuConfig};
 use igo_tensor::GemmShape;
 use igo_workloads::{zoo, Model, ModelId};
 use std::process::ExitCode;
@@ -25,24 +32,48 @@ use parse::{parse_config, parse_model};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  igo-sim models\n  igo-sim ladder <model> <edge|server|serverxN>\n  igo-sim layer <M> <K> <N> <edge|server>\n  igo-sim sweep <model>"
+        "usage:\n  igo-sim [--timing] models\n  igo-sim [--timing] ladder <model> <edge|server|serverxN>\n  igo-sim [--timing] layer <M> <K> <N> <edge|server>\n  igo-sim [--timing] sweep <model>\n  igo-sim [--timing] perf [edge|server|all]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let timing = args.iter().any(|a| a == "--timing");
+    args.retain(|a| a != "--timing");
+    let label = args.join(" ");
+    let runs_before = engine_run_count();
+    let cache_before = sim_cache_stats();
+    let (code, wall) = measure(|| match args.first().map(String::as_str) {
         Some("models") => cmd_models(),
         Some("ladder") if args.len() == 3 => cmd_ladder(&args[1], &args[2]),
         Some("layer") if args.len() == 5 => cmd_layer(&args[1..]),
         Some("sweep") if args.len() == 2 => cmd_sweep(&args[1]),
+        Some("perf") if args.len() <= 2 => {
+            cmd_perf(args.get(1).map(String::as_str).unwrap_or("all"))
+        }
         _ => usage(),
+    });
+    if timing {
+        let cache = sim_cache_stats();
+        let t = Timing {
+            label,
+            wall_seconds: wall,
+            layers: (cache.hits + cache.misses) - (cache_before.hits + cache_before.misses),
+            engine_runs: engine_run_count() - runs_before,
+            cache_hits: cache.hits - cache_before.hits,
+            cache_misses: cache.misses - cache_before.misses,
+        };
+        eprintln!("{}", t.to_json());
     }
+    code
 }
 
 fn cmd_models() -> ExitCode {
-    println!("{:<12} {:<14} {:>10} {:>8} {:>8}", "abbr", "name", "params", "layers", "batch-dep");
+    println!(
+        "{:<12} {:<14} {:>10} {:>8} {:>8}",
+        "abbr", "name", "params", "layers", "batch-dep"
+    );
     for (abbr, id) in parse::MODEL_TABLE {
         let m = zoo::model(*id, 8);
         println!(
@@ -92,10 +123,7 @@ fn cmd_ladder(model_arg: &str, config_arg: &str) -> ExitCode {
 }
 
 fn cmd_layer(args: &[String]) -> ExitCode {
-    let dims: Vec<u64> = args[..3]
-        .iter()
-        .filter_map(|a| a.parse().ok())
-        .collect();
+    let dims: Vec<u64> = args[..3].iter().filter_map(|a| a.parse().ok()).collect();
     let [m, k, n] = dims[..] else {
         eprintln!("M K N must be positive integers");
         return usage();
@@ -147,7 +175,10 @@ fn cmd_sweep(model_arg: &str) -> ExitCode {
         eprintln!("unknown model '{model_arg}'");
         return usage();
     };
-    println!("{:<10} {:>12} {:>12} {:>12}", "bandwidth", "baseline", "ours", "improvement");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "bandwidth", "baseline", "ours", "improvement"
+    );
     for scale in [1.0f64, 0.5, 0.25] {
         let config = NpuConfig::large_single_core().with_bandwidth_scale(scale);
         let model: Model = zoo::model(id, config.default_batch());
@@ -162,6 +193,102 @@ fn cmd_sweep(model_arg: &str) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Simulate the full zoo suite for `config` under data partitioning with
+/// the given options, timing the sweep and attributing engine runs and
+/// cache lookups to it.
+fn perf_sweep(
+    models: &[Model],
+    config: &NpuConfig,
+    options: &SimOptions,
+    label: &str,
+) -> (Vec<ModelReport>, Timing) {
+    let runs_before = engine_run_count();
+    let cache_before = sim_cache_stats();
+    let (reports, wall) = measure(|| {
+        models
+            .iter()
+            .map(|m| simulate_model_with(m, config, Technique::DataPartitioning, options))
+            .collect::<Vec<_>>()
+    });
+    let cache = sim_cache_stats();
+    let layers: u64 = models.iter().map(|m| 2 * m.layers.len() as u64).sum();
+    let timing = Timing {
+        label: format!("perf:{}:{label}", config.name),
+        wall_seconds: wall,
+        layers,
+        engine_runs: engine_run_count() - runs_before,
+        cache_hits: cache.hits - cache_before.hits,
+        cache_misses: cache.misses - cache_before.misses,
+    };
+    (reports, timing)
+}
+
+/// Bit-exact comparison of two sweep results: every layer's forward and
+/// backward reports (cycles, per-class traffic, counters) and the
+/// scheduler decisions must match.
+fn reports_identical(a: &[ModelReport], b: &[ModelReport]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.model == y.model
+                && x.layers.len() == y.layers.len()
+                && x.layers.iter().zip(&y.layers).all(|(l, r)| {
+                    l.forward == r.forward
+                        && l.backward == r.backward
+                        && l.decision == r.decision
+                        && l.multiplicity == r.multiplicity
+                })
+        })
+}
+
+/// The tentpole's acceptance measurement: the full-zoo data-partitioning
+/// sweep, run on the sequential reference path and then twice on the
+/// optimized path (cold cache, then warm), checking bit-identical reports
+/// and printing the speedups.
+fn cmd_perf(which: &str) -> ExitCode {
+    let configs: Vec<NpuConfig> = match which {
+        "edge" => vec![NpuConfig::small_edge()],
+        "server" => vec![NpuConfig::large_single_core()],
+        "all" => vec![NpuConfig::small_edge(), NpuConfig::large_single_core()],
+        _ => {
+            eprintln!("unknown perf target '{which}'");
+            return usage();
+        }
+    };
+    let mut ok = true;
+    for config in configs {
+        let suite = if config.pe.rows >= 100 {
+            &zoo::SERVER_SUITE
+        } else {
+            &zoo::EDGE_SUITE
+        };
+        let models: Vec<Model> = suite
+            .iter()
+            .map(|&id| zoo::model(id, config.default_batch()))
+            .collect();
+        println!("== {} : full-zoo data-partitioning sweep ==", config.name);
+        let (seq, t_seq) = perf_sweep(&models, &config, &SimOptions::sequential(), "sequential");
+        let (cold, t_cold) = perf_sweep(&models, &config, &SimOptions::optimized(), "cold");
+        let (warm, t_warm) = perf_sweep(&models, &config, &SimOptions::optimized(), "warm");
+        for t in [&t_seq, &t_cold, &t_warm] {
+            println!("{}", t.to_json());
+        }
+        let identical = reports_identical(&seq, &cold) && reports_identical(&seq, &warm);
+        ok &= identical;
+        println!(
+            "bit-identical: {}   speedup cold {:.2}x   warm {:.2}x",
+            if identical { "yes" } else { "NO" },
+            t_seq.wall_seconds / t_cold.wall_seconds,
+            t_seq.wall_seconds / t_warm.wall_seconds,
+        );
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("optimized pipeline diverged from the sequential reference");
+        ExitCode::FAILURE
+    }
 }
 
 #[allow(dead_code)]

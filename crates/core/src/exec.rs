@@ -19,9 +19,8 @@ use crate::partition::{PartitionScheme, PartitionedBackward};
 use crate::schedule::LayerTensors;
 use crate::tiling::TilePolicy;
 use igo_npu_sim::{Schedule, ScheduleOp, TensorId, TileOp};
+use igo_tensor::SplitMix64;
 use igo_tensor::{GemmShape, TileGrid};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Dense row-major matrices of one layer's backward pass.
 #[derive(Debug, Clone)]
@@ -38,10 +37,9 @@ pub struct DenseLayer {
 impl DenseLayer {
     /// Random data for a layer of shape `gemm` (deterministic in `seed`).
     pub fn random(gemm: GemmShape, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut fill = |len: u64| -> Vec<f32> {
-            (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
-        };
+        let mut rng = SplitMix64::new(seed);
+        let mut fill =
+            |len: u64| -> Vec<f32> { (0..len).map(|_| rng.range_f32(-1.0, 1.0)).collect() };
         Self {
             gemm,
             x: fill(gemm.m() * gemm.k()),
@@ -161,7 +159,10 @@ pub fn execute_partitioned(
     layer: &DenseLayer,
     policy: TilePolicy,
 ) -> ExecutedGradients {
-    assert_eq!(parent_gemm, layer.gemm, "layer data must match the parent GEMM");
+    assert_eq!(
+        parent_gemm, layer.gemm,
+        "layer data must match the parent GEMM"
+    );
     let mut out = ExecutedGradients {
         dx: vec![0.0; (parent_gemm.m() * parent_gemm.k()) as usize],
         dw: vec![0.0; (parent_gemm.k() * parent_gemm.n()) as usize],
@@ -239,7 +240,10 @@ fn execute_dx_op(
     let (ti, tk) = (acc.key.coord.r as u64, acc.key.coord.c as u64);
     // The j index comes from the dY operand tile (always read by dX ops).
     let (dy_r, dy_c) = find_read(g, view.tensors.dy).expect("dX op reads dY");
-    assert_eq!(dy_r as u64, ti, "dX op dY row must match the accumulator row");
+    assert_eq!(
+        dy_r as u64, ti,
+        "dX op dY row must match the accumulator row"
+    );
     let tj = dy_c as u64;
 
     let dy_dims = dy_grid.tile_dims(igo_tensor::TileCoord::new(ti as u32, tj as u32));
@@ -276,7 +280,10 @@ fn execute_dw_op(
     // The i index comes from the X operand tile (always read by dW ops,
     // even when dY reads are elided).
     let (x_r, x_c) = find_read(g, view.tensors.x).expect("dW op reads X");
-    assert_eq!(x_c as u64, tk, "dW op X column must match the accumulator row");
+    assert_eq!(
+        x_c as u64, tk,
+        "dW op X column must match the accumulator row"
+    );
     let ti = x_r as u64;
 
     let dy_dims = dy_grid.tile_dims(igo_tensor::TileCoord::new(ti as u32, tj as u32));
@@ -290,8 +297,7 @@ fn execute_dw_op(
             let mut acc_v = 0.0f32;
             for li in 0..dy_dims.rows {
                 let i = view.m_off + ti * tile + li;
-                acc_v +=
-                    layer.x[(i * gk + kk) as usize] * layer.dy[(i * gn + j) as usize];
+                acc_v += layer.x[(i * gk + kk) as usize] * layer.dy[(i * gn + j) as usize];
             }
             out.dw[(kk * gn + j) as usize] += acc_v;
         }
@@ -317,7 +323,6 @@ mod tests {
     use crate::schedule::{BackwardBuilder, BackwardOrder};
     use crate::tiling::TilePolicy;
     use igo_tensor::{DataType, TileShape};
-    use proptest::prelude::*;
 
     fn tiny_policy() -> TilePolicy {
         TilePolicy {
@@ -428,26 +433,25 @@ mod tests {
         assert_eq!(layer.reference_dw(), vec![1.0, 3.0, 2.0, 4.0]);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        /// Any order on any small shape reproduces the dense gradients.
-        #[test]
-        fn gradients_correct_for_random_shapes(
-            m in 1u64..48,
-            k in 1u64..40,
-            n in 1u64..40,
-            order_idx in 0usize..5,
-            seed in 0u64..1000,
-        ) {
-            let orders = [
-                BackwardOrder::Baseline,
-                BackwardOrder::IdealDyReuse,
-                BackwardOrder::Interleaved,
-                BackwardOrder::DxMajor,
-                BackwardOrder::DwMajor,
-            ];
-            check_order(GemmShape::new(m, k, n), orders[order_idx], seed);
+    /// Any order on any small shape reproduces the dense gradients
+    /// (deterministic sampling in place of a property-based sweep).
+    #[test]
+    fn gradients_correct_for_random_shapes() {
+        let orders = [
+            BackwardOrder::Baseline,
+            BackwardOrder::IdealDyReuse,
+            BackwardOrder::Interleaved,
+            BackwardOrder::DxMajor,
+            BackwardOrder::DwMajor,
+        ];
+        let mut rng = SplitMix64::new(0x1607);
+        for case in 0..12 {
+            let m = rng.range_u64(1, 48);
+            let k = rng.range_u64(1, 40);
+            let n = rng.range_u64(1, 40);
+            let order = orders[rng.index(orders.len())];
+            let seed = rng.range_u64(0, 1000);
+            check_order(GemmShape::new(m, k, n), order, seed + case);
         }
     }
 }

@@ -33,23 +33,27 @@
 //! ```
 
 pub mod exec;
+pub mod parallel;
 pub mod partition;
 pub mod partition_select;
 pub mod pipeline;
 pub mod report_io;
 pub mod schedule;
 pub mod select;
+pub mod simcache;
 pub mod technique;
 pub mod tiling;
 
 pub use exec::{execute_backward, execute_partitioned, DenseLayer, ExecutedGradients};
+pub use parallel::{parallel_map, parallel_map_with, parallel_map_workers};
 pub use partition::PartitionScheme;
 pub use pipeline::{
-    simulate_layer_backward, simulate_layer_backward_ex, simulate_layer_forward,
-    simulate_layer_forward_ex, simulate_model, LayerDecision, LayerOutcome, ModelReport,
-    TrainingPhase,
+    simulate_layer_backward, simulate_layer_backward_ex, simulate_layer_backward_with,
+    simulate_layer_forward, simulate_layer_forward_ex, simulate_layer_forward_with, simulate_model,
+    simulate_model_with, LayerDecision, LayerOutcome, ModelReport, SimOptions, TrainingPhase,
 };
 pub use schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
 pub use select::select_order;
+pub use simcache::{sim_cache_len, sim_cache_stats, CacheStats, ConfigFingerprint};
 pub use technique::Technique;
 pub use tiling::TilePolicy;

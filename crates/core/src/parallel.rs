@@ -1,0 +1,180 @@
+//! Deterministic scoped worker pools for the simulate-and-select loops.
+//!
+//! The pipeline evaluates many independent simulations — candidate
+//! schedules within a layer, layers within a model — whose *results* must
+//! not depend on execution order: the paper's selection rule is "first
+//! candidate with the strictly smallest cycle count", so any reduction has
+//! to break ties by candidate index, never by completion order.
+//!
+//! [`parallel_map`] provides exactly that contract: results come back in
+//! item order regardless of which worker finished first. Workers are plain
+//! [`std::thread::scope`] threads (no external runtime), pulling items off
+//! a shared atomic counter. Nested calls — a layer pool spawning a
+//! candidate pool — run the inner map sequentially on the calling worker
+//! instead of oversubscribing the machine.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while the current thread is a pool worker: nested maps stay
+    /// sequential instead of spawning threads-under-threads.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when called from inside a [`parallel_map`] worker.
+pub fn in_worker() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
+/// Map `f` over `items`, possibly concurrently, returning results in item
+/// order. Falls back to a plain sequential map when the machine has a
+/// single hardware thread, when there is at most one item, or when already
+/// running inside a pool worker.
+pub fn parallel_map<T, R>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    parallel_map_workers(items, 0, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: `init` runs once per worker (or
+/// once total on the sequential path) and the state is threaded through
+/// every call that worker makes. The pipeline uses this to give each worker
+/// its own reusable [`igo_npu_sim::EngineScratch`].
+pub fn parallel_map_with<S, T, R>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    parallel_map_workers(items, 0, init, f)
+}
+
+/// [`parallel_map_with`] with an explicit worker count; `0` means "one per
+/// hardware thread". Forcing more workers than hardware threads is how the
+/// tests drive the pool's cross-thread determinism even on small machines.
+pub fn parallel_map_workers<S, T, R>(
+    items: &[T],
+    workers: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(items.len());
+    if workers <= 1 || in_worker() {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_POOL.with(|flag| flag.set(true));
+                let mut state = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&mut state, &items[i])));
+                }
+                collected.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+    let mut got = collected.into_inner().unwrap();
+    debug_assert_eq!(got.len(), items.len());
+    got.sort_unstable_by_key(|(i, _)| *i);
+    got.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        // Force a real pool (even on a single-CPU machine) with skewed
+        // per-item work so completion order differs from item order.
+        let out = parallel_map_workers(
+            &items,
+            4,
+            || (),
+            |(), &x| {
+                let spin = (x % 7) * 50;
+                let mut acc = x;
+                for i in 0..spin {
+                    acc = std::hint::black_box(acc.wrapping_mul(31).wrapping_add(i));
+                }
+                let _ = acc;
+                x * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_maps_run_sequentially() {
+        let outer: Vec<u32> = (0..8).collect();
+        let out = parallel_map_workers(
+            &outer,
+            4,
+            || (),
+            |(), &x| {
+                assert!(in_worker(), "forced pool must run items on workers");
+                let inner: Vec<u32> = (0..4).collect();
+                parallel_map(&inner, |&y| x * 10 + y)
+            },
+        );
+        assert_eq!(out[3], vec![30, 31, 32, 33]);
+        assert!(!in_worker(), "flag must not leak to the caller");
+    }
+
+    #[test]
+    fn per_worker_state_sees_every_item_once() {
+        let touched = AtomicU64::new(0);
+        let items: Vec<u64> = (0..100).collect();
+        let sums = parallel_map_workers(
+            &items,
+            4,
+            || 0u64,
+            |state, &x| {
+                *state += 1;
+                touched.fetch_add(x, Ordering::Relaxed);
+                *state
+            },
+        );
+        // Each worker's running count is positive and the global sum covers
+        // every item exactly once.
+        assert!(sums.iter().all(|&s| s > 0));
+        assert_eq!(touched.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |&x: &u32| x).is_empty());
+        assert_eq!(parallel_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+}

@@ -21,10 +21,8 @@ use crate::schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
 use crate::tiling::TilePolicy;
 use igo_npu_sim::{Schedule, StreamOp};
 use igo_tensor::{GemmDim, GemmShape, TensorClass};
-use serde::{Deserialize, Serialize};
-
 /// The three partitioning schemes of Figure 11.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PartitionScheme {
     /// Split `M` (batch): conventional data parallelism; `W` shared, `dW`
     /// reduced.
@@ -174,8 +172,7 @@ pub fn partition_backward_ex(
     let mut schedules = Vec::with_capacity(sub_gemms.len());
     for (p, (sub, t)) in sub_gemms.iter().zip(&part_tensors).enumerate() {
         let mut s = master.fork(format!("{}[{p}]", scheme.label()));
-        let builder =
-            BackwardBuilder::new(*sub, policy, *t).with_ifmap_density(ifmap_density);
+        let builder = BackwardBuilder::new(*sub, policy, *t).with_ifmap_density(ifmap_density);
         builder.emit(order, is_first, &mut s);
         schedules.push(s);
     }
@@ -193,8 +190,7 @@ pub fn partition_backward_ex(
         // A first layer computes no dX, so dY-sharing needs no reduction
         // there.
         PartitionScheme::DySharing if !is_first => {
-            let dx_bytes =
-                ((gemm.dx_dims().bytes(dtype) as f64 * ifmap_density).ceil()) as u64;
+            let dx_bytes = ((gemm.dx_dims().bytes(dtype) as f64 * ifmap_density).ceil()) as u64;
             Some(StreamOp {
                 class: TensorClass::InGrad,
                 read_bytes: actual_parts * dx_bytes,
@@ -297,8 +293,14 @@ mod tests {
         let gemm = GemmShape::new(256, 256, 256);
         let (proto, tensors, policy) = setup(gemm);
         let ws = partition_backward(
-            &proto, tensors, gemm, policy,
-            PartitionScheme::WeightSharing, 2, BackwardOrder::Baseline, false,
+            &proto,
+            tensors,
+            gemm,
+            policy,
+            PartitionScheme::WeightSharing,
+            2,
+            BackwardOrder::Baseline,
+            false,
         );
         let red = ws.reduction.unwrap();
         assert_eq!(red.class, TensorClass::WGrad);
@@ -306,14 +308,26 @@ mod tests {
         assert_eq!(red.write_bytes, 256 * 256 * 4);
 
         let dys = partition_backward(
-            &proto, tensors, gemm, policy,
-            PartitionScheme::DySharing, 2, BackwardOrder::Baseline, false,
+            &proto,
+            tensors,
+            gemm,
+            policy,
+            PartitionScheme::DySharing,
+            2,
+            BackwardOrder::Baseline,
+            false,
         );
         assert_eq!(dys.reduction.unwrap().class, TensorClass::InGrad);
 
         let ifm = partition_backward(
-            &proto, tensors, gemm, policy,
-            PartitionScheme::IfmapSharing, 2, BackwardOrder::Baseline, false,
+            &proto,
+            tensors,
+            gemm,
+            policy,
+            PartitionScheme::IfmapSharing,
+            2,
+            BackwardOrder::Baseline,
+            false,
         );
         assert!(ifm.reduction.is_none(), "ifmap-sharing needs no reduction");
     }
@@ -323,8 +337,14 @@ mod tests {
         let gemm = GemmShape::new(256, 27, 64);
         let (proto, tensors, policy) = setup(gemm);
         let p = partition_backward(
-            &proto, tensors, gemm, policy,
-            PartitionScheme::DySharing, 2, BackwardOrder::Interleaved, true,
+            &proto,
+            tensors,
+            gemm,
+            policy,
+            PartitionScheme::DySharing,
+            2,
+            BackwardOrder::Interleaved,
+            true,
         );
         assert!(p.reduction.is_none());
     }
@@ -336,12 +356,20 @@ mod tests {
         // ifmap-sharing shares dY: every partition must read tiles of the
         // parent dY tensor.
         let p = partition_backward(
-            &proto, tensors, gemm, policy,
-            PartitionScheme::IfmapSharing, 2, BackwardOrder::Interleaved, false,
+            &proto,
+            tensors,
+            gemm,
+            policy,
+            PartitionScheme::IfmapSharing,
+            2,
+            BackwardOrder::Interleaved,
+            false,
         );
         for s in &p.schedules {
             let reads_parent_dy = s.ops().iter().any(|op| {
-                let igo_npu_sim::ScheduleOp::Gemm(g) = op else { return false };
+                let igo_npu_sim::ScheduleOp::Gemm(g) = op else {
+                    return false;
+                };
                 g.reads.iter().any(|r| r.key.tensor == tensors.dy)
             });
             assert!(reads_parent_dy, "partition must read the shared dY");
@@ -354,12 +382,20 @@ mod tests {
         let (proto, tensors, policy) = setup(gemm);
         // weight-sharing splits dY: no partition may touch the parent dY.
         let p = partition_backward(
-            &proto, tensors, gemm, policy,
-            PartitionScheme::WeightSharing, 2, BackwardOrder::Interleaved, false,
+            &proto,
+            tensors,
+            gemm,
+            policy,
+            PartitionScheme::WeightSharing,
+            2,
+            BackwardOrder::Interleaved,
+            false,
         );
         for s in &p.schedules {
             let touches_parent_dy = s.ops().iter().any(|op| {
-                let igo_npu_sim::ScheduleOp::Gemm(g) = op else { return false };
+                let igo_npu_sim::ScheduleOp::Gemm(g) = op else {
+                    return false;
+                };
                 g.reads.iter().any(|r| r.key.tensor == tensors.dy)
             });
             assert!(!touches_parent_dy, "split dY must use fresh ids");
@@ -381,8 +417,14 @@ mod tests {
         let gemm = GemmShape::new(64, 64, 64);
         let (proto, tensors, policy) = setup(gemm);
         let p = partition_backward(
-            &proto, tensors, gemm, policy,
-            PartitionScheme::WeightSharing, 1, BackwardOrder::Baseline, false,
+            &proto,
+            tensors,
+            gemm,
+            policy,
+            PartitionScheme::WeightSharing,
+            1,
+            BackwardOrder::Baseline,
+            false,
         );
         assert_eq!(p.schedules.len(), 1);
     }

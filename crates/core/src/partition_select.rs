@@ -18,8 +18,7 @@ use crate::tiling::TilePolicy;
 use igo_knn::{repeated_accuracy, Classifier, Split};
 use igo_npu_sim::{run_multicore, run_sequential_partitions, NpuConfig, Schedule};
 use igo_tensor::GemmShape;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use igo_tensor::SplitMix64;
 
 /// Feature vector for one layer: `log2` of the six tensor dimensions the
 /// paper names — dX(M,K), dW(K,N), dY(M,N).
@@ -156,7 +155,7 @@ pub fn knn_partition_experiment(
     let features: Vec<Vec<f64>> = labeled.iter().map(|l| layer_features(l.gemm)).collect();
     let labels: Vec<PartitionScheme> = labeled.iter().map(|l| l.label).collect();
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let accuracy = repeated_accuracy(k, &features, &labels, 0.8, repeats, &mut rng)
         .expect("non-empty dataset");
 

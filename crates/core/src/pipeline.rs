@@ -10,27 +10,97 @@
 //! instance count (and convolution group count) — repeated identical
 //! layers are bit-identical under this machine model, so this is exact,
 //! not an approximation.
+//!
+//! # Performance architecture
+//!
+//! The simulate-and-select loops are the sweeps' hot path, and three
+//! composable optimizations keep them fast without changing a single
+//! reported number (see `tests/golden_determinism.rs`):
+//!
+//! * **parallelism** ([`SimOptions::parallel`]) — candidate schedules and
+//!   independent model layers are evaluated on a scoped worker pool
+//!   ([`crate::parallel`]); the reduction picks the lexicographic minimum
+//!   of `(cycles, candidate index)`, which equals the sequential rule
+//!   "first candidate with the strictly smallest cycle count" regardless
+//!   of completion order;
+//! * **memoization** ([`SimOptions::memoize`]) — layer results are cached
+//!   process-wide keyed by GEMM shape, density bits, config fingerprint
+//!   and technique ([`crate::simcache`]);
+//! * **pruning** ([`SimOptions::prune`]) — each candidate gets an
+//!   analytical makespan lower bound ([`Engine::lower_bound`]); the
+//!   candidate with the smallest bound is simulated fully and every
+//!   candidate whose bound *strictly* exceeds that reference's cycles is
+//!   skipped, which cannot change the winner because a pruned candidate's
+//!   true cycle count is at least its bound.
 
+use crate::parallel::parallel_map_workers;
 use crate::partition::{partition_backward_ex, partition_forward_ex, PartitionScheme};
 use crate::schedule::{forward_schedule, BackwardBuilder, BackwardOrder, LayerTensors};
 use crate::select::select_order;
+use crate::simcache;
 use crate::technique::Technique;
 use crate::tiling::TilePolicy;
 use igo_npu_sim::{
-    run_multicore, run_sequential_partitions, Engine, MultiCoreReport, NpuConfig, Schedule,
-    SimReport, Traffic,
+    reduction_cycles, run_multicore_with_scratch, run_sequential_partitions_with_scratch, Engine,
+    EngineScratch, NpuConfig, Schedule, SimReport, StreamOp, Traffic,
 };
 use igo_tensor::GemmShape;
-use igo_workloads::Model;
-use serde::{Deserialize, Serialize};
+use igo_workloads::{Layer, Model};
 
 /// Which pass of training a report concerns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrainingPhase {
     /// The forward pass (technique-independent).
     Forward,
     /// The backward pass (where the paper's techniques apply).
     Backward,
+}
+
+/// Execution-strategy toggles for the simulation pipeline. Every
+/// combination produces bit-identical reports; the toggles only trade
+/// wall-clock time. [`SimOptions::default`] enables everything;
+/// [`SimOptions::sequential`] is the plain reference path the golden tests
+/// compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Evaluate candidate schedules and model layers on a worker pool.
+    pub parallel: bool,
+    /// Serve repeated layer simulations from the process-wide memo cache.
+    pub memoize: bool,
+    /// Skip candidates whose analytical lower bound proves them dominated.
+    pub prune: bool,
+    /// Worker-pool size; `0` means one worker per hardware thread. Only
+    /// meaningful when `parallel` is set (tests force a pool larger than
+    /// the machine to exercise cross-thread determinism).
+    pub workers: usize,
+}
+
+impl SimOptions {
+    /// All optimizations on (the default).
+    pub const fn optimized() -> Self {
+        Self {
+            parallel: true,
+            memoize: true,
+            prune: true,
+            workers: 0,
+        }
+    }
+
+    /// The plain sequential path: no pool, no cache, no pruning.
+    pub const fn sequential() -> Self {
+        Self {
+            parallel: false,
+            memoize: false,
+            prune: false,
+            workers: 0,
+        }
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self::optimized()
+    }
 }
 
 /// The per-partition count used by single-core data partitioning
@@ -46,23 +116,6 @@ fn dedup_orders(orders: [BackwardOrder; 2]) -> Vec<BackwardOrder> {
     }
 }
 
-fn mc_to_report(mc: &MultiCoreReport) -> SimReport {
-    let mut out = SimReport {
-        cycles: mc.cycles,
-        traffic: mc.traffic,
-        ..Default::default()
-    };
-    for r in &mc.core_reports {
-        out.compute_cycles += r.compute_cycles;
-        out.mem_cycles += r.mem_cycles;
-        out.spm_hits += r.spm_hits;
-        out.spm_misses += r.spm_misses;
-        out.gemm_ops += r.gemm_ops;
-        out.macs += r.macs;
-    }
-    out
-}
-
 /// What the scheduler decided for one layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayerDecision {
@@ -70,6 +123,118 @@ pub struct LayerDecision {
     pub order: BackwardOrder,
     /// The partitioning applied, if any: `(scheme, parts)`.
     pub partition: Option<(PartitionScheme, u64)>,
+}
+
+/// One fully built way to execute a layer's backward pass, ready to bound
+/// or simulate.
+struct Candidate {
+    decision: LayerDecision,
+    exec: CandidateExec,
+}
+
+enum CandidateExec {
+    /// One schedule on one core.
+    Single(Schedule),
+    /// Partition segments chained on a single core, then a reduction.
+    Sequential {
+        segments: Vec<Schedule>,
+        reduction: Option<StreamOp>,
+    },
+    /// One schedule per core, then a reduction.
+    Multicore {
+        per_core: Vec<Schedule>,
+        reduction: Option<StreamOp>,
+    },
+}
+
+impl Candidate {
+    /// Analytical makespan lower bound; never exceeds [`Candidate::run`]'s
+    /// cycles (see [`Engine::lower_bound`]).
+    fn lower_bound(&self, config: &NpuConfig) -> u64 {
+        let engine = Engine::new(config);
+        match &self.exec {
+            CandidateExec::Single(s) => engine.lower_bound(s),
+            CandidateExec::Sequential {
+                segments,
+                reduction,
+            } => engine.lower_bound_concat(segments) + reduction_cycles(config, *reduction),
+            CandidateExec::Multicore {
+                per_core,
+                reduction,
+            } => {
+                let slowest = per_core
+                    .iter()
+                    .map(|s| engine.lower_bound(s))
+                    .max()
+                    .unwrap_or(0);
+                slowest + reduction_cycles(config, *reduction)
+            }
+        }
+    }
+
+    fn run(&self, config: &NpuConfig, scratch: &mut EngineScratch) -> SimReport {
+        match &self.exec {
+            CandidateExec::Single(s) => Engine::new(config).run_with_scratch(s, scratch),
+            CandidateExec::Sequential {
+                segments,
+                reduction,
+            } => run_sequential_partitions_with_scratch(config, segments, *reduction, scratch)
+                .combined(),
+            CandidateExec::Multicore {
+                per_core,
+                reduction,
+            } => run_multicore_with_scratch(config, per_core, *reduction, scratch).combined(),
+        }
+    }
+}
+
+/// Evaluate `candidates` under `options` and return the winner: the first
+/// candidate (in construction order) with the strictly smallest cycle
+/// count — i.e. the lexicographic minimum of `(cycles, index)`.
+fn select_best(
+    candidates: &[Candidate],
+    config: &NpuConfig,
+    options: &SimOptions,
+) -> (SimReport, LayerDecision) {
+    assert!(!candidates.is_empty(), "no candidates to select from");
+    let mut evaluated: Vec<(usize, SimReport)> = Vec::with_capacity(candidates.len());
+    let to_run: Vec<usize> = if options.prune {
+        let bounds: Vec<u64> = candidates.iter().map(|c| c.lower_bound(config)).collect();
+        let ref_idx = (0..candidates.len())
+            .min_by_key(|&i| (bounds[i], i))
+            .expect("non-empty");
+        let reference = candidates[ref_idx].run(config, &mut EngineScratch::new());
+        let cutoff = reference.cycles;
+        evaluated.push((ref_idx, reference));
+        // Strict comparison: a candidate with `bound == cutoff` could still
+        // tie the reference and win on index, so only `bound > cutoff` is
+        // provably dominated.
+        (0..candidates.len())
+            .filter(|&i| i != ref_idx && bounds[i] <= cutoff)
+            .collect()
+    } else {
+        (0..candidates.len()).collect()
+    };
+    let runs: Vec<SimReport> = if options.parallel {
+        parallel_map_workers(
+            &to_run,
+            options.workers,
+            EngineScratch::new,
+            |scratch, &i| candidates[i].run(config, scratch),
+        )
+    } else {
+        let mut scratch = EngineScratch::new();
+        to_run
+            .iter()
+            .map(|&i| candidates[i].run(config, &mut scratch))
+            .collect()
+    };
+    evaluated.extend(to_run.into_iter().zip(runs));
+    let (best_idx, best) = evaluated
+        .into_iter()
+        .min_by_key(|&(i, r)| (r.cycles, i))
+        .expect("at least the reference was evaluated");
+    (best, candidates[best_idx].decision)
 }
 
 /// Simulate one layer's forward pass on `config` (dense layer: ifmap
@@ -81,18 +246,37 @@ pub fn simulate_layer_forward(gemm: GemmShape, config: &NpuConfig) -> SimReport 
 /// Simulate one layer's forward pass with an explicit ifmap density
 /// (raw-layout `X` traffic scaling for convolution layers).
 pub fn simulate_layer_forward_ex(gemm: GemmShape, density: f64, config: &NpuConfig) -> SimReport {
+    simulate_layer_forward_with(gemm, density, config, &SimOptions::default())
+}
+
+/// [`simulate_layer_forward_ex`] with explicit execution options.
+pub fn simulate_layer_forward_with(
+    gemm: GemmShape,
+    density: f64,
+    config: &NpuConfig,
+    options: &SimOptions,
+) -> SimReport {
+    if options.memoize {
+        if let Some(hit) = simcache::get_forward(gemm, density, config) {
+            return hit;
+        }
+    }
     let policy = TilePolicy::for_config(config);
     let mut proto = Schedule::new("fwd");
     let tensors = LayerTensors::register(&mut proto, "l");
-    if config.cores == 1 {
+    let report = if config.cores == 1 {
         let mut s = proto.fork("fwd");
         forward_schedule(gemm, policy, tensors, density, &mut s);
         Engine::new(config).run(&s)
     } else {
         let parts =
             partition_forward_ex(&proto, tensors, gemm, density, policy, config.cores as u64);
-        mc_to_report(&run_multicore(config, &parts, None))
+        run_multicore_with_scratch(config, &parts, None, &mut EngineScratch::new()).combined()
+    };
+    if options.memoize {
+        simcache::put_forward(gemm, density, config, report);
     }
+    report
 }
 
 /// Simulate one layer's backward pass on `config` under `technique`
@@ -117,20 +301,59 @@ pub fn simulate_layer_backward_ex(
     technique: Technique,
     is_first: bool,
 ) -> (SimReport, LayerDecision) {
+    simulate_layer_backward_with(
+        gemm,
+        density,
+        config,
+        technique,
+        is_first,
+        &SimOptions::default(),
+    )
+}
+
+/// [`simulate_layer_backward_ex`] with explicit execution options.
+pub fn simulate_layer_backward_with(
+    gemm: GemmShape,
+    density: f64,
+    config: &NpuConfig,
+    technique: Technique,
+    is_first: bool,
+    options: &SimOptions,
+) -> (SimReport, LayerDecision) {
+    if options.memoize {
+        if let Some(hit) = simcache::get_backward(gemm, density, config, technique, is_first) {
+            return hit;
+        }
+    }
+    let out = backward_uncached(gemm, density, config, technique, is_first, options);
+    if options.memoize {
+        simcache::put_backward(gemm, density, config, technique, is_first, out.0, out.1);
+    }
+    out
+}
+
+fn backward_uncached(
+    gemm: GemmShape,
+    density: f64,
+    config: &NpuConfig,
+    technique: Technique,
+    is_first: bool,
+    options: &SimOptions,
+) -> (SimReport, LayerDecision) {
     let policy = TilePolicy::for_config(config);
     let mut proto = Schedule::new("bwd");
     let tensors = LayerTensors::register(&mut proto, "l");
 
-    let run_plain = |order: BackwardOrder| -> SimReport {
-        if config.cores == 1 {
+    // A non-partitioned candidate: one schedule on a single core, or the
+    // conventional batch (weight-sharing) data parallelism across cores.
+    let plain_candidate = |order: BackwardOrder| -> Candidate {
+        let exec = if config.cores == 1 {
             let mut s = proto.fork("bwd");
             BackwardBuilder::new(gemm, policy, tensors)
                 .with_ifmap_density(density)
                 .emit(order, is_first, &mut s);
-            Engine::new(config).run(&s)
+            CandidateExec::Single(s)
         } else {
-            // Conventional multi-core execution: batch (weight-sharing)
-            // data parallelism across cores.
             let p = partition_backward_ex(
                 &proto,
                 tensors,
@@ -142,7 +365,17 @@ pub fn simulate_layer_backward_ex(
                 order,
                 is_first,
             );
-            mc_to_report(&run_multicore(config, &p.schedules, p.reduction))
+            CandidateExec::Multicore {
+                per_core: p.schedules,
+                reduction: p.reduction,
+            }
+        };
+        Candidate {
+            decision: LayerDecision {
+                order,
+                partition: None,
+            },
+            exec,
         }
     };
 
@@ -153,34 +386,19 @@ pub fn simulate_layer_backward_ex(
 
     match technique {
         Technique::Baseline => {
-            let r = run_plain(BackwardOrder::Baseline);
-            (
-                r,
-                LayerDecision {
-                    order: BackwardOrder::Baseline,
-                    partition: None,
-                },
-            )
+            let c = plain_candidate(BackwardOrder::Baseline);
+            let r = c.run(config, &mut EngineScratch::new());
+            (r, c.decision)
         }
         Technique::IdealDyReuse => {
-            let r = run_plain(BackwardOrder::IdealDyReuse);
-            (
-                r,
-                LayerDecision {
-                    order: BackwardOrder::IdealDyReuse,
-                    partition: None,
-                },
-            )
+            let c = plain_candidate(BackwardOrder::IdealDyReuse);
+            let r = c.run(config, &mut EngineScratch::new());
+            (r, c.decision)
         }
         Technique::Interleaving => {
-            let r = run_plain(BackwardOrder::Interleaved);
-            (
-                r,
-                LayerDecision {
-                    order: BackwardOrder::Interleaved,
-                    partition: None,
-                },
-            )
+            let c = plain_candidate(BackwardOrder::Interleaved);
+            let r = c.run(config, &mut EngineScratch::new());
+            (r, c.decision)
         }
         Technique::Rearrangement => {
             let order = if config.cores == 1 {
@@ -188,50 +406,37 @@ pub fn simulate_layer_backward_ex(
             } else {
                 algorithm1(multicore_sub_gemm())
             };
-            let r = run_plain(order);
-            (
-                r,
-                LayerDecision {
-                    order,
-                    partition: None,
-                },
-            )
+            let c = plain_candidate(order);
+            let r = c.run(config, &mut EngineScratch::new());
+            (r, c.decision)
         }
         Technique::RearrangementOracle => {
-            let mut best: Option<(SimReport, BackwardOrder)> = None;
-            for order in [
+            let candidates: Vec<Candidate> = [
                 BackwardOrder::Interleaved,
                 BackwardOrder::DxMajor,
                 BackwardOrder::DwMajor,
-            ] {
-                let r = run_plain(order);
-                if best.as_ref().is_none_or(|(b, _)| r.cycles < b.cycles) {
-                    best = Some((r, order));
-                }
-            }
-            let (r, order) = best.expect("three candidates");
-            (
-                r,
-                LayerDecision {
-                    order,
-                    partition: None,
-                },
-            )
+            ]
+            .into_iter()
+            .map(plain_candidate)
+            .collect();
+            select_best(&candidates, config, options)
         }
         Technique::DataPartitioning => {
-            simulate_partitioned_backward(gemm, density, config, is_first, &proto, tensors, policy)
+            let candidates =
+                partition_candidates(gemm, density, config, is_first, &proto, tensors, policy);
+            select_best(&candidates, config, options)
         }
     }
 }
 
-/// The §5 step: evaluate the candidate partitionings (composed with
-/// Algorithm 1 ordering) and keep the fastest. On a single core the
-/// unpartitioned rearranged schedule is also a candidate (partitioning is
-/// optional there); on a multi-core NPU some partitioning is required to
-/// use the cores, so the candidates are the three schemes at `cores`
-/// partitions.
+/// The §5 candidate set: the candidate partitionings (composed with
+/// Algorithm 1 ordering), in the fixed order the sequential selector
+/// walked them. On a single core the unpartitioned rearranged schedule is
+/// also a candidate (partitioning is optional there); on a multi-core NPU
+/// some partitioning is required to use the cores, so the candidates are
+/// the three schemes at `cores` partitions.
 #[allow(clippy::too_many_arguments)]
-fn simulate_partitioned_backward(
+fn partition_candidates(
     gemm: GemmShape,
     density: f64,
     config: &NpuConfig,
@@ -239,14 +444,9 @@ fn simulate_partitioned_backward(
     proto: &Schedule,
     tensors: LayerTensors,
     policy: TilePolicy,
-) -> (SimReport, LayerDecision) {
+) -> Vec<Candidate> {
     let algorithm1 = |g: GemmShape| BackwardOrder::from(select_order(g));
-    let mut best: Option<(SimReport, LayerDecision)> = None;
-    let mut consider = |r: SimReport, d: LayerDecision| {
-        if best.as_ref().is_none_or(|(b, _)| r.cycles < b.cycles) {
-            best = Some((r, d));
-        }
-    };
+    let mut out: Vec<Candidate> = Vec::new();
 
     if config.cores == 1 {
         // Unpartitioned candidates: the rearranged schedule and — because
@@ -257,13 +457,13 @@ fn simulate_partitioned_backward(
             BackwardBuilder::new(gemm, policy, tensors)
                 .with_ifmap_density(density)
                 .emit(order, is_first, &mut s);
-            consider(
-                Engine::new(config).run(&s),
-                LayerDecision {
+            out.push(Candidate {
+                decision: LayerDecision {
                     order,
                     partition: None,
                 },
-            );
+                exec: CandidateExec::Single(s),
+            });
         }
         for scheme in PartitionScheme::ALL {
             for parts in SINGLE_CORE_PART_CANDIDATES {
@@ -272,14 +472,16 @@ fn simulate_partitioned_backward(
                     let p = partition_backward_ex(
                         proto, tensors, gemm, density, policy, scheme, parts, order, is_first,
                     );
-                    let mc = run_sequential_partitions(config, &p.schedules, p.reduction);
-                    consider(
-                        mc_to_report(&mc),
-                        LayerDecision {
+                    out.push(Candidate {
+                        decision: LayerDecision {
                             order,
                             partition: Some((scheme, p.schedules.len() as u64)),
                         },
-                    );
+                        exec: CandidateExec::Sequential {
+                            segments: p.schedules,
+                            reduction: p.reduction,
+                        },
+                    });
                 }
             }
         }
@@ -291,18 +493,20 @@ fn simulate_partitioned_backward(
                 let p = partition_backward_ex(
                     proto, tensors, gemm, density, policy, scheme, parts, order, is_first,
                 );
-                let mc = run_multicore(config, &p.schedules, p.reduction);
-                consider(
-                    mc_to_report(&mc),
-                    LayerDecision {
+                out.push(Candidate {
+                    decision: LayerDecision {
                         order,
                         partition: Some((scheme, p.schedules.len() as u64)),
                     },
-                );
+                    exec: CandidateExec::Multicore {
+                        per_core: p.schedules,
+                        reduction: p.reduction,
+                    },
+                });
             }
         }
     }
-    best.expect("at least one candidate")
+    out
 }
 
 /// Per-layer outcome within a model report.
@@ -391,34 +595,63 @@ impl ModelReport {
     }
 }
 
+fn layer_outcome(
+    layer: &Layer,
+    config: &NpuConfig,
+    technique: Technique,
+    options: &SimOptions,
+) -> LayerOutcome {
+    let forward = simulate_layer_forward_with(layer.gemm, layer.ifmap_density, config, options);
+    let (backward, decision) = simulate_layer_backward_with(
+        layer.gemm,
+        layer.ifmap_density,
+        config,
+        technique,
+        layer.is_first,
+        options,
+    );
+    LayerOutcome {
+        name: layer.name.clone(),
+        multiplicity: layer.count as u64 * layer.groups as u64,
+        forward,
+        backward,
+        decision,
+        gemm: layer.gemm,
+    }
+}
+
 /// Simulate one model's full training step under `technique`.
 ///
 /// The model should have been built with `config.default_batch()` so the
 /// per-core batch matches the paper's setup (callers that sweep batch size
 /// on purpose may deviate — the simulation itself is agnostic).
 pub fn simulate_model(model: &Model, config: &NpuConfig, technique: Technique) -> ModelReport {
-    let layers = model
-        .layers
-        .iter()
-        .map(|layer| {
-            let forward = simulate_layer_forward_ex(layer.gemm, layer.ifmap_density, config);
-            let (backward, decision) = simulate_layer_backward_ex(
-                layer.gemm,
-                layer.ifmap_density,
-                config,
-                technique,
-                layer.is_first,
-            );
-            LayerOutcome {
-                name: layer.name.clone(),
-                multiplicity: layer.count as u64 * layer.groups as u64,
-                forward,
-                backward,
-                decision,
-                gemm: layer.gemm,
-            }
-        })
-        .collect();
+    simulate_model_with(model, config, technique, &SimOptions::default())
+}
+
+/// [`simulate_model`] with explicit execution options. Independent layers
+/// are evaluated concurrently when `options.parallel` is set; the report's
+/// layer order always matches the model's.
+pub fn simulate_model_with(
+    model: &Model,
+    config: &NpuConfig,
+    technique: Technique,
+    options: &SimOptions,
+) -> ModelReport {
+    let layers = if options.parallel {
+        parallel_map_workers(
+            &model.layers,
+            options.workers,
+            || (),
+            |(), layer| layer_outcome(layer, config, technique, options),
+        )
+    } else {
+        model
+            .layers
+            .iter()
+            .map(|layer| layer_outcome(layer, config, technique, options))
+            .collect()
+    };
     ModelReport {
         model: model.name.clone(),
         config: config.name.clone(),
@@ -561,5 +794,67 @@ mod tests {
         );
         assert!(report.total_traffic().total() > 0);
         assert!((report.normalized_to(&report) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_options_combination_selects_identically() {
+        // 8 toggle combinations on a layer with a non-trivial candidate
+        // space: same report, same decision, bit for bit.
+        let config = NpuConfig::small_edge();
+        let gemm = dy_heavy_conv();
+        let (want, want_d) = simulate_layer_backward_with(
+            gemm,
+            1.0,
+            &config,
+            Technique::DataPartitioning,
+            false,
+            &SimOptions::sequential(),
+        );
+        for parallel in [false, true] {
+            for memoize in [false, true] {
+                for prune in [false, true] {
+                    let opts = SimOptions {
+                        parallel,
+                        memoize,
+                        prune,
+                        // Force a real pool even on a single-CPU machine.
+                        workers: 3,
+                    };
+                    let (got, got_d) = simulate_layer_backward_with(
+                        gemm,
+                        1.0,
+                        &config,
+                        Technique::DataPartitioning,
+                        false,
+                        &opts,
+                    );
+                    assert_eq!(got, want, "{opts:?} diverged from the sequential path");
+                    assert_eq!(got_d, want_d, "{opts:?} picked a different candidate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_layer_reuses_cached_result() {
+        // A shape unique to this test so the cache interaction is its own.
+        let config = NpuConfig::large_single_core();
+        let gemm = GemmShape::new(6421, 127, 6337);
+        let opts = SimOptions {
+            parallel: false,
+            memoize: true,
+            prune: false,
+            workers: 0,
+        };
+        let first =
+            simulate_layer_backward_with(gemm, 1.0, &config, Technique::Interleaving, false, &opts);
+        assert_eq!(
+            crate::simcache::get_backward(gemm, 1.0, &config, Technique::Interleaving, false),
+            Some(first),
+            "the result must land in the cache"
+        );
+        let second =
+            simulate_layer_backward_with(gemm, 1.0, &config, Technique::Interleaving, false, &opts);
+        assert_eq!(first, second);
     }
 }

@@ -168,8 +168,16 @@ impl BackwardBuilder {
         let dx_d = self.x_grid.tile_dims(dx_c);
         TileOp::new(GemmShape::new(dy_d.rows, dy_d.cols, dx_d.cols))
             .read(self.tensors.dy, dy_c, dy_d.bytes(self.policy.dtype))
-            .read(self.tensors.w, w_c, self.w_grid.tile_bytes(w_c, self.policy.dtype))
-            .accumulate(self.tensors.dx, dx_c, self.x_bytes(dx_d.bytes(self.policy.dtype)))
+            .read(
+                self.tensors.w,
+                w_c,
+                self.w_grid.tile_bytes(w_c, self.policy.dtype),
+            )
+            .accumulate(
+                self.tensors.dx,
+                dx_c,
+                self.x_bytes(dx_d.bytes(self.policy.dtype)),
+            )
     }
 
     /// `dW[kk,j] += Xᵀ[kk,i] · dY[i,j]`.
@@ -337,11 +345,17 @@ impl BackwardBuilder {
         let mut best = (1u64, 1u64);
         let mut best_cost = u128::MAX;
         for kb in 1..=kb_max {
-            let b = (cap.saturating_sub(2 * kb + 1) / (2 * kb)).max(1).min(sweep);
+            let b = (cap.saturating_sub(2 * kb + 1) / (2 * kb))
+                .max(1)
+                .min(sweep);
             let chunks = kt.div_ceil(kb);
             let blocks = sweep.div_ceil(b);
             let dy_reads = if dy_tiles + 4 * kb <= cap { 1 } else { chunks };
-            let stationary_reads = if stationary_tiles <= cap / 2 { 1 } else { blocks };
+            let stationary_reads = if stationary_tiles <= cap / 2 {
+                1
+            } else {
+                blocks
+            };
             let spill = if spill_tiles <= cap / 2 {
                 0
             } else {
@@ -480,7 +494,11 @@ pub fn forward_schedule(
     let y_grid = gemm.dy_grid(policy.tile);
     let x_grid = gemm.dx_grid(policy.tile);
     let w_grid = gemm.dw_grid(policy.tile);
-    let (mt, nt, kt) = (y_grid.rows() as u64, y_grid.cols() as u64, x_grid.cols() as u64);
+    let (mt, nt, kt) = (
+        y_grid.rows() as u64,
+        y_grid.cols() as u64,
+        x_grid.cols() as u64,
+    );
     let blocking = Blocking::choose(mt, nt, kt, policy.capacity_tiles);
     for (i0, j0) in blocking.blocks(mt, nt) {
         for kk in 0..kt {
@@ -578,7 +596,10 @@ mod tests {
             })
             .collect();
         let switches = classes.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(switches >= 4, "expected block alternation, got {switches} switches");
+        assert!(
+            switches >= 4,
+            "expected block alternation, got {switches} switches"
+        );
         let first_dw = classes
             .iter()
             .position(|&c| c == TensorClass::WGrad)
@@ -602,13 +623,14 @@ mod tests {
         let mut runs = Vec::new();
         let mut last = None;
         for op in s.ops() {
-            let igo_npu_sim::ScheduleOp::Gemm(g) = op else { continue };
+            let igo_npu_sim::ScheduleOp::Gemm(g) = op else {
+                continue;
+            };
             for r in &g.reads {
-                if s.class_of(r.key.tensor) == TensorClass::OutGrad
-                    && last != Some(r.key.coord) {
-                        runs.push(r.key.coord);
-                        last = Some(r.key.coord);
-                    }
+                if s.class_of(r.key.tensor) == TensorClass::OutGrad && last != Some(r.key.coord) {
+                    runs.push(r.key.coord);
+                    last = Some(r.key.coord);
+                }
             }
         }
         let distinct: std::collections::HashSet<_> = runs.iter().collect();
@@ -638,7 +660,9 @@ mod tests {
         let mut s = proto.fork("first");
         b.dw_only(&mut s);
         for op in s.ops() {
-            let igo_npu_sim::ScheduleOp::Gemm(g) = op else { continue };
+            let igo_npu_sim::ScheduleOp::Gemm(g) = op else {
+                continue;
+            };
             let acc = g.acc.unwrap().key.tensor;
             assert_eq!(s.class_of(acc), TensorClass::WGrad);
         }
@@ -656,7 +680,9 @@ mod tests {
         // Every op accumulates into Y.
         let mut y_tiles = std::collections::HashSet::new();
         for op in s.ops() {
-            let igo_npu_sim::ScheduleOp::Gemm(g) = op else { continue };
+            let igo_npu_sim::ScheduleOp::Gemm(g) = op else {
+                continue;
+            };
             y_tiles.insert(g.acc.unwrap().key.coord);
         }
         let grid = gemm.dy_grid(policy.tile);

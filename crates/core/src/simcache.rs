@@ -1,0 +1,221 @@
+//! Process-wide memoization of layer simulations.
+//!
+//! The experiment harnesses simulate the same layer shapes over and over:
+//! a technique ladder re-simulates every layer's forward pass once per
+//! technique, zoo models share layer shapes, and sweeps revisit entire
+//! models. Under this machine model a layer simulation is a pure function
+//! of `(GEMM shape, ifmap density, hardware config, technique, position)`,
+//! so the pipeline caches results across [`crate::simulate_model`] calls.
+//!
+//! The key deliberately excludes the config's *name* (a label) and
+//! *batch-per-core* (already folded into the GEMM's M dimension by model
+//! construction) but includes every field the engine reads: core count, PE
+//! array, clock, SPM capacity, DRAM bandwidth and burst latency. Densities
+//! and clocks are `f64`s and are keyed by their bit patterns.
+
+use crate::pipeline::LayerDecision;
+use crate::technique::Technique;
+use igo_npu_sim::{NpuConfig, SimReport};
+use igo_tensor::GemmShape;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The simulation-relevant fields of an [`NpuConfig`], bit-exact and
+/// hashable. Two configs with equal fingerprints produce identical layer
+/// simulations; configs differing in any engine-visible field — SPM size,
+/// bandwidth, PE array, clock, cores, burst latency — never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfigFingerprint {
+    cores: u32,
+    pe_rows: u32,
+    pe_cols: u32,
+    freq_bits: u64,
+    spm_bytes: u64,
+    bandwidth_bits: u64,
+    burst_latency: u64,
+}
+
+impl ConfigFingerprint {
+    /// Fingerprint `config`.
+    pub fn of(config: &NpuConfig) -> Self {
+        Self {
+            cores: config.cores,
+            pe_rows: config.pe.rows,
+            pe_cols: config.pe.cols,
+            freq_bits: config.freq_hz.to_bits(),
+            spm_bytes: config.spm_bytes,
+            bandwidth_bits: config.dram.bandwidth_bytes_per_sec.to_bits(),
+            burst_latency: config.dram.burst_latency_cycles,
+        }
+    }
+}
+
+/// Which simulation of a layer the entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PassKey {
+    Forward,
+    Backward {
+        technique: Technique,
+        is_first: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    gemm: GemmShape,
+    density_bits: u64,
+    config: ConfigFingerprint,
+    pass: PassKey,
+}
+
+/// A memoized layer result (`decision` is `None` for forward passes).
+type CacheEntry = (SimReport, Option<LayerDecision>);
+
+static CACHE: OnceLock<Mutex<HashMap<CacheKey, CacheEntry>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, CacheEntry>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn key(gemm: GemmShape, density: f64, config: &NpuConfig, pass: PassKey) -> CacheKey {
+    CacheKey {
+        gemm,
+        density_bits: density.to_bits(),
+        config: ConfigFingerprint::of(config),
+        pass,
+    }
+}
+
+fn lookup(k: &CacheKey) -> Option<CacheEntry> {
+    let got = cache().lock().unwrap().get(k).copied();
+    match got {
+        Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
+        None => MISSES.fetch_add(1, Ordering::Relaxed),
+    };
+    got
+}
+
+fn insert(k: CacheKey, entry: CacheEntry) {
+    // Concurrent workers may race on the same key; both compute the same
+    // deterministic value, so last-write-wins is harmless.
+    cache().lock().unwrap().insert(k, entry);
+}
+
+pub(crate) fn get_forward(gemm: GemmShape, density: f64, config: &NpuConfig) -> Option<SimReport> {
+    lookup(&key(gemm, density, config, PassKey::Forward)).map(|(r, _)| r)
+}
+
+pub(crate) fn put_forward(gemm: GemmShape, density: f64, config: &NpuConfig, report: SimReport) {
+    insert(key(gemm, density, config, PassKey::Forward), (report, None));
+}
+
+pub(crate) fn get_backward(
+    gemm: GemmShape,
+    density: f64,
+    config: &NpuConfig,
+    technique: Technique,
+    is_first: bool,
+) -> Option<(SimReport, LayerDecision)> {
+    let pass = PassKey::Backward {
+        technique,
+        is_first,
+    };
+    lookup(&key(gemm, density, config, pass))
+        .map(|(r, d)| (r, d.expect("backward entries carry a decision")))
+}
+
+pub(crate) fn put_backward(
+    gemm: GemmShape,
+    density: f64,
+    config: &NpuConfig,
+    technique: Technique,
+    is_first: bool,
+    report: SimReport,
+    decision: LayerDecision,
+) {
+    let pass = PassKey::Backward {
+        technique,
+        is_first,
+    };
+    insert(key(gemm, density, config, pass), (report, Some(decision)));
+}
+
+/// Hit/miss counters of the layer memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Layer simulations served from the cache.
+    pub hits: u64,
+    /// Layer simulations that had to run.
+    pub misses: u64,
+}
+
+/// Process-wide cache counters so far. Monotonic; sample before and after a
+/// workload to attribute lookups (the `--timing` flag does exactly that).
+pub fn sim_cache_stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Number of distinct layer results currently memoized.
+pub fn sim_cache_len() -> usize {
+    cache().lock().unwrap().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_spm_size_only() {
+        let a = NpuConfig::large_single_core();
+        let b = a.clone().with_spm_bytes(a.spm_bytes / 2);
+        assert_ne!(
+            ConfigFingerprint::of(&a),
+            ConfigFingerprint::of(&b),
+            "SPM-only difference must change the key"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_bandwidth_only() {
+        let a = NpuConfig::large_single_core();
+        let b = a.clone().with_bandwidth_scale(0.5);
+        assert_ne!(
+            ConfigFingerprint::of(&a),
+            ConfigFingerprint::of(&b),
+            "bandwidth-only difference must change the key"
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_and_batch() {
+        let a = NpuConfig::large_single_core();
+        let mut b = a.clone().with_batch_per_core(32);
+        b.name = "renamed".to_owned();
+        assert_eq!(
+            ConfigFingerprint::of(&a),
+            ConfigFingerprint::of(&b),
+            "labels and batch (already in the GEMM's M) are not keys"
+        );
+    }
+
+    #[test]
+    fn cache_round_trips_a_forward_entry() {
+        // A deliberately unique shape so no other test collides.
+        let gemm = GemmShape::new(7919, 7907, 7901);
+        let config = NpuConfig::small_edge();
+        assert_eq!(get_forward(gemm, 0.123, &config), None);
+        let report = SimReport {
+            cycles: 42,
+            ..Default::default()
+        };
+        put_forward(gemm, 0.123, &config, report);
+        assert_eq!(get_forward(gemm, 0.123, &config), Some(report));
+        assert_eq!(get_forward(gemm, 0.124, &config), None, "density is keyed");
+    }
+}

@@ -5,10 +5,8 @@
 //! `+DataPartitioning`. The extra variants cover the paper's side studies:
 //! the Figure 6 ideal-reuse potential and the §4.3 per-layer oracle.
 
-use serde::{Deserialize, Serialize};
-
 /// A complete scheduling policy for a training step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Technique {
     /// Sequential dX-then-dW gradient computation with blocked tiling — the
     /// TPU-with-XLA-style baseline of §6.1.
@@ -76,7 +74,10 @@ mod tests {
     #[test]
     fn ladder_starts_at_baseline_and_ends_at_partitioning() {
         assert_eq!(Technique::LADDER[0], Technique::Baseline);
-        assert_eq!(*Technique::LADDER.last().unwrap(), Technique::DataPartitioning);
+        assert_eq!(
+            *Technique::LADDER.last().unwrap(),
+            Technique::DataPartitioning
+        );
     }
 
     #[test]

@@ -96,8 +96,7 @@ impl Blocking {
             let max_cols = ((cap - b_rows) / (b_rows + 1)).min(cols);
             for b_cols in [1, max_cols / 2, max_cols] {
                 let b_cols = b_cols.clamp(1, max_cols);
-                let cost =
-                    cols.div_ceil(b_cols) * left_tiles + rows.div_ceil(b_rows) * right_tiles;
+                let cost = cols.div_ceil(b_cols) * left_tiles + rows.div_ceil(b_rows) * right_tiles;
                 if cost < best_cost {
                     best_cost = cost;
                     best = Blocking { b_rows, b_cols };
@@ -111,7 +110,8 @@ impl Blocking {
     /// Iterate block origins `(row0, col0)` in row-major block order.
     pub fn blocks(&self, rows: u64, cols: u64) -> impl Iterator<Item = (u64, u64)> {
         let (br, bc) = (self.b_rows, self.b_cols);
-        (0..rows.div_ceil(br)).flat_map(move |r| (0..cols.div_ceil(bc)).map(move |c| (r * br, c * bc)))
+        (0..rows.div_ceil(br))
+            .flat_map(move |r| (0..cols.div_ceil(bc)).map(move |c| (r * br, c * bc)))
     }
 }
 
@@ -134,9 +134,12 @@ mod tests {
 
     #[test]
     fn blocking_fits_capacity() {
-        for (rows, cols, red, cap) in
-            [(32, 32, 8, 64), (196, 5, 1, 64), (6400, 1, 1, 64), (8, 256, 4, 16)]
-        {
+        for (rows, cols, red, cap) in [
+            (32, 32, 8, 64),
+            (196, 5, 1, 64),
+            (6400, 1, 1, 64),
+            (8, 256, 4, 16),
+        ] {
             let b = Blocking::choose(rows, cols, red, cap);
             assert!(
                 b.b_rows * b.b_cols + b.b_rows + b.b_cols <= cap,

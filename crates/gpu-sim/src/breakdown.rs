@@ -8,10 +8,8 @@
 //! memory time (at effective HBM / PCIe bandwidth).
 
 use igo_workloads::Model;
-use serde::{Deserialize, Serialize};
-
 /// GPU parameters for the roofline model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuConfig {
     /// Peak sustained MAC rate (multiply-accumulates per second) for GEMM
     /// kernels.
@@ -61,7 +59,7 @@ impl GpuConfig {
 }
 
 /// Seconds spent in each phase of one training step.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StepBreakdown {
     /// Forward pass.
     pub forward: f64,
@@ -145,8 +143,7 @@ pub fn training_breakdown(model: &Model, gpu: &GpuConfig) -> StepBreakdown {
     // PyTorch's pinned-memory pipeline overlaps roughly half of it with
     // compute.
     let first = &model.layers[0];
-    let input_bytes =
-        first.gemm.m() as f64 * first.gemm.k() as f64 * first.ifmap_density * BYTES;
+    let input_bytes = first.gemm.m() as f64 * first.gemm.k() as f64 * first.ifmap_density * BYTES;
     out.memcopy = 0.5 * input_bytes / gpu.pcie_bytes_per_sec;
 
     // Loss: softmax/CE passes over the logits plus the host

@@ -16,14 +16,12 @@
 //! which operand is re-read and whether partial sums spill, exactly
 //! mirroring the NPU-side schedule families.
 
+use crate::breakdown::GpuConfig;
 use igo_tensor::GemmShape;
 use igo_workloads::Model;
-use serde::{Deserialize, Serialize};
-
-use crate::breakdown::GpuConfig;
 
 /// Shared-memory tiling parameters of the GEMM kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SmemConfig {
     /// Thread-block output tile side (the worklog's 2-D block tiling uses
     /// 128×128).
@@ -59,7 +57,7 @@ fn gemm_bytes(m: u64, k: u64, n: u64, t: u64) -> f64 {
 
 /// Cumulative normalised backward-pass times of the GPU ladder for one
 /// layer (baseline = 1.0).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuLadder {
     /// Interleaving only.
     pub interleaving: f64,
@@ -69,7 +67,12 @@ pub struct GpuLadder {
     pub partitioning: f64,
 }
 
-fn layer_ladder(g: GemmShape, density: f64, gpu: &GpuConfig, smem: &SmemConfig) -> (f64, GpuLadder) {
+fn layer_ladder(
+    g: GemmShape,
+    density: f64,
+    gpu: &GpuConfig,
+    smem: &SmemConfig,
+) -> (f64, GpuLadder) {
     let (m, k, n) = (g.m(), g.k(), g.n());
     let t = smem.block_tile;
     let tf = smem.fused_tile;
@@ -112,9 +115,9 @@ fn layer_ladder(g: GemmShape, density: f64, gpu: &GpuConfig, smem: &SmemConfig) 
     let x_once = scale_x((m * k) as f64 * B);
     let w_full = w_once * ceil_div(m, t);
     let x_full = x_once * ceil_div(n, t);
-    let fixed = (m * n) as f64 * B + w_once + x_once + (k * n) as f64 * B
-        + scale_x((m * k) as f64 * B); // dY once + both outputs + one read of each operand
-    // Protect whichever side saves more.
+    let fixed =
+        (m * n) as f64 * B + w_once + x_once + (k * n) as f64 * B + scale_x((m * k) as f64 * B); // dY once + both outputs + one read of each operand
+                                                                                                 // Protect whichever side saves more.
     let rearr_bytes = fixed + (w_full - w_once).min(x_full - x_once);
     let rearr_bytes = rearr_bytes.min(inter_bytes);
     let rearrangement = (macs / gpu.macs_per_sec).max(rearr_bytes / gpu.hbm_bytes_per_sec);

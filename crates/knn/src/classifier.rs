@@ -201,12 +201,7 @@ mod tests {
 
     #[test]
     fn k_one_is_nearest_neighbour() {
-        let knn = Classifier::fit(
-            1,
-            vec![vec![0.0], vec![10.0]],
-            vec!["left", "right"],
-        )
-        .unwrap();
+        let knn = Classifier::fit(1, vec![vec![0.0], vec![10.0]], vec!["left", "right"]).unwrap();
         assert_eq!(*knn.predict(&[4.0]), "left");
         assert_eq!(*knn.predict(&[6.0]), "right");
     }

@@ -5,8 +5,7 @@
 //! average.
 
 use crate::classifier::{Classifier, FitError};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use igo_tensor::SplitMix64;
 
 /// A train/test index split.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,14 +23,14 @@ impl Split {
     /// # Panics
     ///
     /// Panics if `n < 2` or `train_fraction` is not strictly inside (0, 1).
-    pub fn random<R: Rng>(n: usize, train_fraction: f64, rng: &mut R) -> Self {
+    pub fn random(n: usize, train_fraction: f64, rng: &mut SplitMix64) -> Self {
         assert!(n >= 2, "need at least 2 samples to split, got {n}");
         assert!(
             train_fraction > 0.0 && train_fraction < 1.0,
             "train fraction must be in (0,1), got {train_fraction}"
         );
         let mut indices: Vec<usize> = (0..n).collect();
-        indices.shuffle(rng);
+        rng.shuffle(&mut indices);
         let cut = ((n as f64 * train_fraction).round() as usize).clamp(1, n - 1);
         let test = indices.split_off(cut);
         Split {
@@ -73,13 +72,13 @@ pub fn evaluate<L: Clone + Eq + std::hash::Hash>(
 /// # Errors
 ///
 /// Propagates [`FitError`] (e.g. an empty dataset).
-pub fn repeated_accuracy<L: Clone + Eq + std::hash::Hash, R: Rng>(
+pub fn repeated_accuracy<L: Clone + Eq + std::hash::Hash>(
     k: usize,
     features: &[Vec<f64>],
     labels: &[L],
     train_fraction: f64,
     repeats: usize,
-    rng: &mut R,
+    rng: &mut SplitMix64,
 ) -> Result<f64, FitError> {
     assert!(repeats > 0, "need at least one repetition");
     let mut total = 0.0;
@@ -93,8 +92,6 @@ pub fn repeated_accuracy<L: Clone + Eq + std::hash::Hash, R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn dataset() -> (Vec<Vec<f64>>, Vec<u8>) {
         // Two well-separated Gaussian-ish blobs, 40 samples.
@@ -112,7 +109,7 @@ mod tests {
 
     #[test]
     fn split_partitions_indices() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let s = Split::random(10, 0.8, &mut rng);
         assert_eq!(s.train.len() + s.test.len(), 10);
         assert_eq!(s.train.len(), 8);
@@ -123,7 +120,7 @@ mod tests {
 
     #[test]
     fn split_always_leaves_a_test_sample() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let s = Split::random(2, 0.99, &mut rng);
         assert_eq!(s.train.len(), 1);
         assert_eq!(s.test.len(), 1);
@@ -132,7 +129,7 @@ mod tests {
     #[test]
     fn separable_data_scores_perfectly() {
         let (xs, ys) = dataset();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let acc = repeated_accuracy(3, &xs, &ys, 0.8, 50, &mut rng).unwrap();
         assert!(acc > 0.99, "separable blobs must classify, got {acc}");
     }
@@ -143,9 +140,12 @@ mod tests {
         // feature carries no information: accuracy ~= 0.5.
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64]).collect();
         let ys: Vec<u8> = (0..100).map(|i| ((i / 10) % 2) as u8).collect();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let acc = repeated_accuracy(3, &xs, &ys, 0.8, 100, &mut rng).unwrap();
-        assert!((0.3..0.7).contains(&acc), "chance-level expected, got {acc}");
+        assert!(
+            (0.3..0.7).contains(&acc),
+            "chance-level expected, got {acc}"
+        );
     }
 
     #[test]
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 2 samples")]
     fn split_of_one_panics() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::new(0);
         let _ = Split::random(1, 0.8, &mut rng);
     }
 }

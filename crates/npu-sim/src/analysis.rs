@@ -152,11 +152,7 @@ mod tests {
     use igo_tensor::{GemmShape, TileCoord};
 
     fn tile_op(s: &mut Schedule, tensor: TensorId, c: u32, bytes: u64) {
-        s.push_gemm(TileOp::new(GemmShape::new(4, 4, 4)).read(
-            tensor,
-            TileCoord::new(0, c),
-            bytes,
-        ));
+        s.push_gemm(TileOp::new(GemmShape::new(4, 4, 4)).read(tensor, TileCoord::new(0, c), bytes));
     }
 
     #[test]

@@ -15,10 +15,8 @@
 //! scales DRAM bandwidth, SPM capacity and batch size proportionally with
 //! core count, with all cores sharing the SPM (§6.3).
 
-use serde::{Deserialize, Serialize};
-
 /// Dimensions of one systolic processing-element array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PeArray {
     /// Array rows (the reduction direction in weight-stationary dataflow).
     pub rows: u32,
@@ -50,7 +48,7 @@ impl core::fmt::Display for PeArray {
 }
 
 /// Off-chip memory channel parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Sustained bandwidth in bytes per second (aggregate across cores).
     pub bandwidth_bytes_per_sec: f64,
@@ -71,7 +69,7 @@ impl DramConfig {
 /// for the paper's Table 3, or build a custom config and adjust fields via
 /// the `with_*` methods (used by the bandwidth/batch sweeps of Figures 15
 /// and 16).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NpuConfig {
     /// Human-readable name, used in reports.
     pub name: String,

@@ -20,10 +20,8 @@
 
 use crate::config::NpuConfig;
 use crate::stats::SimReport;
-use serde::{Deserialize, Serialize};
-
 /// Energy cost constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Picojoules per DRAM byte moved (read or write).
     pub pj_per_dram_byte: f64,
@@ -78,7 +76,7 @@ impl EnergyModel {
 }
 
 /// Energy of one simulated run, by component.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyReport {
     /// Off-chip transfer energy.
     pub dram_pj: f64,

@@ -22,11 +22,14 @@
 //! [`Engine::with_replacement`].
 
 use crate::config::NpuConfig;
-use crate::opt::OptCache;
-use crate::spm::{AccessOutcome, SpmCache};
+use crate::opt::DenseOptCache;
+use crate::spm::SpmCache;
 use crate::stats::{SimReport, Traffic};
 use crate::systolic::SystolicModel;
 use crate::trace::{Schedule, ScheduleOp, TileKey};
+use igo_tensor::TensorClass;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// SPM residency policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,51 +42,52 @@ pub enum Replacement {
     Lru,
 }
 
-enum CacheImpl {
-    Opt(OptCache),
-    Lru(SpmCache),
+/// Process-wide count of `Engine` runs, for the `--timing` self-measurement
+/// harness (how many full schedule simulations the sweep actually executed,
+/// after memoization and pruning).
+static ENGINE_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Total `Engine::run`/`run_with_scratch` invocations so far in this
+/// process. Monotonic; sample before and after a workload to attribute runs.
+pub fn engine_run_count() -> u64 {
+    ENGINE_RUNS.load(Ordering::Relaxed)
 }
 
-impl CacheImpl {
-    fn access(&mut self, key: TileKey, bytes: u64, dirty: bool, next_use: usize) -> AccessOutcome {
-        match self {
-            CacheImpl::Opt(c) => c.access(key, bytes, dirty, next_use),
-            CacheImpl::Lru(c) => {
-                if dirty {
-                    c.accumulate(key, bytes)
-                } else {
-                    c.read(key, bytes)
-                }
-            }
-        }
-    }
+/// Sentinel id marking a kernel boundary in the flattened access stream.
+const BARRIER_ID: u32 = u32::MAX;
 
-    fn flush(&mut self) -> Vec<(TileKey, u64)> {
-        match self {
-            CacheImpl::Opt(c) => c.flush(),
-            CacheImpl::Lru(c) => c.flush(),
-        }
-    }
+/// Reusable engine working memory: the flattened access stream, the interned
+/// tile-id table, the next-use oracle and the residency model's slot
+/// storage. One scratch serves any number of `run_with_scratch` calls;
+/// buffers are cleared, not reallocated, between runs, which removes every
+/// per-run heap allocation from the simulate-and-select hot loop.
+#[derive(Default)]
+pub struct EngineScratch {
+    /// TileKey → dense id, built once per run.
+    intern: HashMap<TileKey, u32>,
+    /// Dense id → TileKey (for replacement-order tie-breaking).
+    keys: Vec<TileKey>,
+    /// Dense id → traffic class, memoized from the schedule's tensor table.
+    classes: Vec<TensorClass>,
+    /// Flattened accesses: `(dense id, bytes, dirty)`; barriers appear as
+    /// `(BARRIER_ID, 0, false)` sentinels.
+    stream: Vec<(u32, u64, bool)>,
+    /// Stream position of each op's first access.
+    op_access_start: Vec<usize>,
+    /// Per-access position of the next access to the same tile.
+    next_use: Vec<usize>,
+    /// Dense id → latest stream position seen (next-use back-scan state).
+    last_seen: Vec<usize>,
+    /// Eviction write-back landing buffer, drained after every access.
+    writebacks: Vec<(u32, u64)>,
+    /// Reusable Belady replacement state.
+    opt: DenseOptCache,
+}
 
-    fn clear(&mut self) {
-        match self {
-            CacheImpl::Opt(c) => c.clear(),
-            CacheImpl::Lru(c) => c.clear(),
-        }
-    }
-
-    fn hits(&self) -> u64 {
-        match self {
-            CacheImpl::Opt(c) => c.hits(),
-            CacheImpl::Lru(c) => c.hits(),
-        }
-    }
-
-    fn misses(&self) -> u64 {
-        match self {
-            CacheImpl::Opt(c) => c.misses(),
-            CacheImpl::Lru(c) => c.misses(),
-        }
+impl EngineScratch {
+    /// A fresh scratch. Equivalent to `EngineScratch::default()`.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -149,50 +153,163 @@ impl Engine {
         self.residency_bytes
     }
 
-    /// Run `schedule` on a cold SPM and report.
+    /// Run `schedule` on a cold SPM and report. Convenience wrapper that
+    /// allocates a fresh [`EngineScratch`]; hot loops should hold one
+    /// scratch and call [`Engine::run_with_scratch`].
     pub fn run(&self, schedule: &Schedule) -> SimReport {
-        // Pre-pass: flatten the access stream and compute, for every
-        // access, the position of the next access to the same tile (the
-        // oracle knowledge a compiler has when allocating SPM). Barriers
-        // appear as `None` sentinels: reuse never crosses a kernel
-        // boundary.
-        let mut stream: Vec<Option<(TileKey, u64, bool)>> = Vec::new();
-        let mut op_access_start: Vec<usize> = Vec::with_capacity(schedule.len());
-        for op in schedule.ops() {
-            op_access_start.push(stream.len());
-            match op {
-                ScheduleOp::Gemm(g) => {
-                    for r in &g.reads {
-                        stream.push(Some((r.key, r.bytes, false)));
-                    }
-                    if let Some(a) = &g.acc {
-                        stream.push(Some((a.key, a.bytes, true)));
-                    }
+        let mut scratch = EngineScratch::new();
+        self.run_with_scratch(schedule, &mut scratch)
+    }
+
+    /// Analytical lower bound on [`Engine::run`]'s makespan for `schedule`,
+    /// without simulating residency. Sound for both replacement policies:
+    /// the returned value never exceeds the simulated `cycles`.
+    ///
+    /// The bound is `max(compute, memory)` where *compute* is the serial
+    /// systolic time of every tile GEMM and *memory* is the channel time of
+    /// the compulsory traffic alone: within each barrier-delimited segment,
+    /// each distinct tile whose first access is a clean read is fetched at
+    /// least once, each tile that is ever written is written back at least
+    /// once, and stream ops always move their bytes. Per-burst latency is
+    /// ignored (it only adds time).
+    pub fn lower_bound(&self, schedule: &Schedule) -> u64 {
+        self.lower_bound_concat(std::slice::from_ref(schedule))
+    }
+
+    /// [`Engine::lower_bound`] for `segments` executed back-to-back as one
+    /// stream (the single-core sequential-partition execution model, where
+    /// SPM residency crosses segment boundaries).
+    pub fn lower_bound_concat(&self, segments: &[Schedule]) -> u64 {
+        struct SegTile {
+            bytes: u64,
+            first_clean: bool,
+            written: bool,
+        }
+        let mut compute: u64 = 0;
+        let mut bytes_lb: u64 = 0;
+        let mut seen: HashMap<TileKey, SegTile> = HashMap::new();
+        fn drain_segment(seen: &mut HashMap<TileKey, SegTile>, bytes_lb: &mut u64) {
+            for (_, t) in seen.drain() {
+                if t.first_clean {
+                    *bytes_lb += t.bytes;
                 }
-                ScheduleOp::Barrier => stream.push(None),
-                ScheduleOp::Stream(_) => {}
+                if t.written {
+                    *bytes_lb += t.bytes;
+                }
             }
         }
-        let mut next_use = vec![usize::MAX; stream.len()];
-        {
-            let mut last: std::collections::HashMap<TileKey, usize> =
-                std::collections::HashMap::new();
-            for (pos, access) in stream.iter().enumerate().rev() {
-                match access {
-                    Some((key, _, _)) => {
-                        if let Some(&later) = last.get(key) {
-                            next_use[pos] = later;
+        let touch = |seen: &mut HashMap<TileKey, SegTile>, key, bytes, dirty: bool| {
+            seen.entry(key)
+                .and_modify(|t| {
+                    t.written |= dirty;
+                    t.bytes = t.bytes.min(bytes);
+                })
+                .or_insert(SegTile {
+                    bytes,
+                    first_clean: !dirty,
+                    written: dirty,
+                });
+        };
+        for s in segments {
+            for op in s.ops() {
+                match op {
+                    ScheduleOp::Gemm(g) => {
+                        compute += self.systolic.tile_cycles(g.compute);
+                        for r in &g.reads {
+                            touch(&mut seen, r.key, r.bytes, false);
                         }
-                        last.insert(*key, pos);
+                        if let Some(a) = &g.acc {
+                            touch(&mut seen, a.key, a.bytes, true);
+                        }
                     }
-                    None => last.clear(),
+                    ScheduleOp::Stream(st) => bytes_lb += st.read_bytes + st.write_bytes,
+                    ScheduleOp::Barrier => drain_segment(&mut seen, &mut bytes_lb),
+                }
+            }
+        }
+        drain_segment(&mut seen, &mut bytes_lb);
+        let mem = (bytes_lb as f64 / self.bytes_per_cycle).ceil() as u64;
+        compute.max(mem)
+    }
+
+    /// Run `schedule` on a cold SPM, reusing `scratch`'s buffers.
+    pub fn run_with_scratch(&self, schedule: &Schedule, scratch: &mut EngineScratch) -> SimReport {
+        ENGINE_RUNS.fetch_add(1, Ordering::Relaxed);
+        let EngineScratch {
+            intern,
+            keys,
+            classes,
+            stream,
+            op_access_start,
+            next_use,
+            last_seen,
+            writebacks,
+            opt,
+        } = scratch;
+        intern.clear();
+        keys.clear();
+        classes.clear();
+        stream.clear();
+        op_access_start.clear();
+        writebacks.clear();
+
+        // Pre-pass: flatten the access stream, interning each distinct tile
+        // to a dense id (one hash lookup per access; every later pass is
+        // pure array indexing), and record each op's first access slot.
+        // Barriers appear as sentinels: reuse never crosses a kernel
+        // boundary.
+        {
+            let mut intern_id = |key: TileKey| -> u32 {
+                *intern.entry(key).or_insert_with(|| {
+                    let id = keys.len() as u32;
+                    keys.push(key);
+                    classes.push(schedule.class_of(key.tensor));
+                    id
+                })
+            };
+            for op in schedule.ops() {
+                op_access_start.push(stream.len());
+                match op {
+                    ScheduleOp::Gemm(g) => {
+                        for r in &g.reads {
+                            stream.push((intern_id(r.key), r.bytes, false));
+                        }
+                        if let Some(a) = &g.acc {
+                            stream.push((intern_id(a.key), a.bytes, true));
+                        }
+                    }
+                    ScheduleOp::Barrier => stream.push((BARRIER_ID, 0, false)),
+                    ScheduleOp::Stream(_) => {}
                 }
             }
         }
 
-        let mut cache = match self.replacement {
-            Replacement::Opt => CacheImpl::Opt(OptCache::new(self.residency_bytes)),
-            Replacement::Lru => CacheImpl::Lru(SpmCache::new(self.residency_bytes)),
+        // Next-use oracle: for every access, the position of the next
+        // access to the same tile (the knowledge a compiler has when
+        // allocating SPM) — a dense back-scan over interned ids.
+        next_use.clear();
+        next_use.resize(stream.len(), usize::MAX);
+        last_seen.clear();
+        last_seen.resize(keys.len(), usize::MAX);
+        for pos in (0..stream.len()).rev() {
+            let (id, _, _) = stream[pos];
+            if id == BARRIER_ID {
+                last_seen.fill(usize::MAX);
+            } else {
+                let later = last_seen[id as usize];
+                if later != usize::MAX {
+                    next_use[pos] = later;
+                }
+                last_seen[id as usize] = pos;
+            }
+        }
+
+        let mut lru = match self.replacement {
+            Replacement::Opt => {
+                opt.reset(self.residency_bytes, keys.len());
+                None
+            }
+            Replacement::Lru => Some(SpmCache::new(self.residency_bytes)),
         };
 
         let mut traffic = Traffic::new();
@@ -204,15 +321,6 @@ impl Engine {
         let mut macs: u64 = 0;
         let mut spm_bytes_touched: u64 = 0;
 
-        let charge_writebacks = |traffic: &mut Traffic, victims: &[(TileKey, u64)]| -> u64 {
-            let mut total = 0;
-            for (victim, bytes) in victims {
-                traffic.add_write(schedule.class_of(victim.tensor), *bytes);
-                total += bytes;
-            }
-            total
-        };
-
         for (op_idx, op) in schedule.ops().iter().enumerate() {
             match op {
                 ScheduleOp::Gemm(g) => {
@@ -222,16 +330,39 @@ impl Engine {
                     let mut bursts = 0u64;
                     let n_accesses = g.reads.len() + usize::from(g.acc.is_some());
                     for pos in start..start + n_accesses {
-                        let (key, bytes, dirty) =
-                            stream[pos].expect("gemm access slots are never barriers");
+                        let (id, bytes, dirty) = stream[pos];
+                        debug_assert_ne!(id, BARRIER_ID, "gemm slots are never barriers");
                         spm_bytes_touched += bytes;
-                        let out = cache.access(key, bytes, dirty, next_use[pos]);
-                        if out.fetched_bytes > 0 {
-                            traffic.add_read(schedule.class_of(key.tensor), out.fetched_bytes);
-                            fetched += out.fetched_bytes;
+                        let got = match &mut lru {
+                            None => opt.access(
+                                id,
+                                keys[id as usize],
+                                bytes,
+                                dirty,
+                                next_use[pos],
+                                writebacks,
+                            ),
+                            Some(c) => {
+                                let key = keys[id as usize];
+                                let out = if dirty {
+                                    c.accumulate(key, bytes)
+                                } else {
+                                    c.read(key, bytes)
+                                };
+                                writebacks
+                                    .extend(out.writebacks.iter().map(|(k, b)| (intern[k], *b)));
+                                out.fetched_bytes
+                            }
+                        };
+                        if got > 0 {
+                            traffic.add_read(classes[id as usize], got);
+                            fetched += got;
                             bursts += 1;
                         }
-                        writeback += charge_writebacks(&mut traffic, &out.writebacks);
+                        for (vid, vbytes) in writebacks.drain(..) {
+                            traffic.add_write(classes[vid as usize], vbytes);
+                            writeback += vbytes;
+                        }
                     }
 
                     // Memory timeline: free-running, serial in op order.
@@ -271,36 +402,59 @@ impl Engine {
                     // Kernel boundary: flush dirty results, drop residency.
                     // The next kernel cannot start its loads before the
                     // previous kernel's compute has finished.
-                    let flushed = cache.flush();
-                    if !flushed.is_empty() {
-                        let bytes = charge_writebacks(&mut traffic, &flushed);
+                    match &mut lru {
+                        None => opt.flush(writebacks),
+                        Some(c) => {
+                            writebacks.extend(c.flush().into_iter().map(|(k, b)| (intern[&k], b)))
+                        }
+                    }
+                    if !writebacks.is_empty() {
+                        let mut bytes = 0u64;
+                        for (vid, vbytes) in writebacks.drain(..) {
+                            traffic.add_write(classes[vid as usize], vbytes);
+                            bytes += vbytes;
+                        }
                         let mem_time =
                             bytes as f64 / self.bytes_per_cycle + self.burst_latency as f64;
                         mem_free += mem_time;
                         mem_busy_total += mem_time;
                     }
-                    cache.clear();
+                    match &mut lru {
+                        None => opt.clear(),
+                        Some(c) => c.clear(),
+                    }
                     mem_free = mem_free.max(compute_free);
                 }
             }
         }
 
         // Flush remaining dirty results (final accumulator tiles) to DRAM.
-        let flushed = cache.flush();
-        if !flushed.is_empty() {
-            let bytes = charge_writebacks(&mut traffic, &flushed);
+        match &mut lru {
+            None => opt.flush(writebacks),
+            Some(c) => writebacks.extend(c.flush().into_iter().map(|(k, b)| (intern[&k], b))),
+        }
+        if !writebacks.is_empty() {
+            let mut bytes = 0u64;
+            for (vid, vbytes) in writebacks.drain(..) {
+                traffic.add_write(classes[vid as usize], vbytes);
+                bytes += vbytes;
+            }
             let mem_time = bytes as f64 / self.bytes_per_cycle + self.burst_latency as f64;
             mem_free += mem_time;
             mem_busy_total += mem_time;
         }
 
+        let (spm_hits, spm_misses) = match &lru {
+            None => (opt.hits(), opt.misses()),
+            Some(c) => (c.hits(), c.misses()),
+        };
         SimReport {
             cycles: mem_free.max(compute_free).ceil() as u64,
             compute_cycles: compute_cycles_total,
             mem_cycles: mem_busy_total.ceil() as u64,
             traffic,
-            spm_hits: cache.hits(),
-            spm_misses: cache.misses(),
+            spm_hits,
+            spm_misses,
             gemm_ops,
             macs,
             spm_bytes_touched,
@@ -371,9 +525,7 @@ mod tests {
             ));
         }
         let opt = tiny_engine(3300).run(&s);
-        let lru = tiny_engine(3300)
-            .with_replacement(Replacement::Lru)
-            .run(&s);
+        let lru = tiny_engine(3300).with_replacement(Replacement::Lru).run(&s);
         assert!(opt.spm_hits > 0);
         assert_eq!(lru.spm_hits, 0, "LRU thrashes the cyclic pattern");
         assert!(opt.traffic.read_total() < lru.traffic.read_total());
@@ -501,6 +653,87 @@ mod tests {
         assert_eq!(r.traffic.read(TensorClass::OutGrad), 2 * 1600);
         assert_eq!(r.traffic.write(TensorClass::WGrad), 1600);
         assert_eq!(r.traffic.read(TensorClass::WGrad), 0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_simulated_cycles() {
+        // Assorted reuse patterns, several residency capacities, both
+        // replacement policies: the analytical bound must stay below the
+        // simulated makespan everywhere.
+        let mut schedules: Vec<Schedule> = Vec::new();
+        let mut scan = Schedule::new("scan");
+        let dy = scan.add_tensor(TensorClass::OutGrad, "dY");
+        let dw = scan.add_tensor(TensorClass::WGrad, "dW");
+        for j in 0..20 {
+            scan.push_gemm(
+                TileOp::new(GemmShape::new(16, 16, 16))
+                    .read(dy, TileCoord::new(0, j % 5), 1600)
+                    .accumulate(dw, TileCoord::new(0, j % 2), 1600),
+            );
+            if j == 9 {
+                scan.push_barrier();
+            }
+        }
+        scan.push_stream(StreamOp {
+            class: TensorClass::WGrad,
+            read_bytes: 4096,
+            write_bytes: 0,
+        });
+        schedules.push(scan);
+        let mut compute = Schedule::new("compute");
+        let w = compute.add_tensor(TensorClass::Weight, "W");
+        for _ in 0..8 {
+            compute.push_gemm(TileOp::new(GemmShape::new(512, 16, 16)).read(
+                w,
+                TileCoord::new(0, 0),
+                1600,
+            ));
+        }
+        schedules.push(compute);
+        for s in &schedules {
+            for residency in [1600, 3300, 10_000] {
+                for policy in [Replacement::Opt, Replacement::Lru] {
+                    let e = tiny_engine(residency).with_replacement(policy);
+                    let r = e.run(s);
+                    let lb = e.lower_bound(s);
+                    assert!(
+                        lb <= r.cycles,
+                        "bound {lb} exceeds simulated {} ({} @ {residency}B, {policy:?})",
+                        r.cycles,
+                        s.name()
+                    );
+                    assert!(lb > 0, "non-empty schedule must have a positive bound");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_concat_matches_concatenated_schedule() {
+        let e = tiny_engine(10_000);
+        let mut parent = Schedule::new("p");
+        let dy = parent.add_tensor(TensorClass::OutGrad, "dY");
+        let mut a = parent.fork("a");
+        let mut b = parent.fork("b");
+        for j in 0..4 {
+            a.push_gemm(TileOp::new(GemmShape::new(16, 16, 16)).read(
+                dy,
+                TileCoord::new(0, j),
+                1600,
+            ));
+            b.push_gemm(TileOp::new(GemmShape::new(16, 16, 16)).read(
+                dy,
+                TileCoord::new(0, j),
+                1600,
+            ));
+        }
+        let mut joined = a.clone();
+        joined.append_compatible(&b);
+        assert_eq!(
+            e.lower_bound_concat(&[a, b]),
+            e.lower_bound(&joined),
+            "segment-spanning dedup must match the concatenated stream"
+        );
     }
 
     #[test]

@@ -59,9 +59,12 @@ pub mod trace;
 pub use analysis::{reuse_distances, reuse_profile, Reuse, ReuseProfile};
 pub use config::{DramConfig, NpuConfig, PeArray};
 pub use energy::{EnergyModel, EnergyReport};
-pub use engine::{Engine, Replacement};
-pub use multicore::{run_multicore, run_sequential_partitions, MultiCoreReport};
-pub use opt::OptCache;
+pub use engine::{engine_run_count, Engine, EngineScratch, Replacement};
+pub use multicore::{
+    reduction_cycles, run_multicore, run_multicore_with_scratch, run_sequential_partitions,
+    run_sequential_partitions_with_scratch, MultiCoreReport,
+};
+pub use opt::{DenseOptCache, OptCache};
 pub use spm::SpmCache;
 pub use stats::{SimReport, Traffic};
 pub use systolic::SystolicModel;

@@ -20,7 +20,7 @@
 //! reduction traffic.
 
 use crate::config::NpuConfig;
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineScratch};
 use crate::stats::{SimReport, Traffic};
 use crate::trace::{Schedule, StreamOp};
 
@@ -42,6 +42,34 @@ impl MultiCoreReport {
     pub fn macs(&self) -> u64 {
         self.core_reports.iter().map(|r| r.macs).sum()
     }
+
+    /// The step collapsed into one [`SimReport`]: the step makespan and
+    /// aggregate traffic, with the per-core counters summed.
+    pub fn combined(&self) -> SimReport {
+        let mut out = SimReport {
+            cycles: self.cycles,
+            traffic: self.traffic,
+            ..Default::default()
+        };
+        for r in &self.core_reports {
+            out.compute_cycles += r.compute_cycles;
+            out.mem_cycles += r.mem_cycles;
+            out.spm_hits += r.spm_hits;
+            out.spm_misses += r.spm_misses;
+            out.gemm_ops += r.gemm_ops;
+            out.macs += r.macs;
+            out.spm_bytes_touched += r.spm_bytes_touched;
+        }
+        out
+    }
+}
+
+/// Cycles the cross-partition reduction alone would take on `config` (no
+/// traffic accounting) — the exact term [`run_multicore`] adds to the
+/// slowest core. Used by analytical candidate lower bounds.
+pub fn reduction_cycles(config: &NpuConfig, reduction: Option<StreamOp>) -> u64 {
+    let mut scratch = Traffic::new();
+    reduction_cost(config, reduction, &mut scratch)
 }
 
 fn reduction_cost(config: &NpuConfig, reduction: Option<StreamOp>, traffic: &mut Traffic) -> u64 {
@@ -78,6 +106,22 @@ pub fn run_multicore(
     per_core: &[Schedule],
     reduction: Option<StreamOp>,
 ) -> MultiCoreReport {
+    run_multicore_with_scratch(config, per_core, reduction, &mut EngineScratch::new())
+}
+
+/// [`run_multicore`] reusing `scratch`'s buffers across the per-core engine
+/// runs (the cores are simulated one after another, so one scratch serves
+/// them all).
+///
+/// # Panics
+///
+/// Panics if more schedules than cores are supplied.
+pub fn run_multicore_with_scratch(
+    config: &NpuConfig,
+    per_core: &[Schedule],
+    reduction: Option<StreamOp>,
+    scratch: &mut EngineScratch,
+) -> MultiCoreReport {
     assert!(
         per_core.len() <= config.cores as usize,
         "{} schedules for {} cores",
@@ -85,7 +129,10 @@ pub fn run_multicore(
         config.cores
     );
     let engine = Engine::new(config);
-    let core_reports: Vec<SimReport> = per_core.iter().map(|s| engine.run(s)).collect();
+    let core_reports: Vec<SimReport> = per_core
+        .iter()
+        .map(|s| engine.run_with_scratch(s, scratch))
+        .collect();
     let mut traffic = Traffic::new();
     for r in &core_reports {
         traffic.merge(&r.traffic);
@@ -113,16 +160,31 @@ pub fn run_sequential_partitions(
     segments: &[Schedule],
     reduction: Option<StreamOp>,
 ) -> MultiCoreReport {
+    run_sequential_partitions_with_scratch(config, segments, reduction, &mut EngineScratch::new())
+}
+
+/// [`run_sequential_partitions`] reusing `scratch`'s buffers.
+///
+/// # Panics
+///
+/// Panics if the segments' tensor tables differ (they must be compatible
+/// forks of one parent — see [`Schedule::append_compatible`]).
+pub fn run_sequential_partitions_with_scratch(
+    config: &NpuConfig,
+    segments: &[Schedule],
+    reduction: Option<StreamOp>,
+    scratch: &mut EngineScratch,
+) -> MultiCoreReport {
     let engine = Engine::new(config);
     let report = match segments {
         [] => SimReport::default(),
-        [single] => engine.run(single),
+        [single] => engine.run_with_scratch(single, scratch),
         [first, rest @ ..] => {
             let mut combined = first.clone();
             for s in rest {
                 combined.append_compatible(s);
             }
-            engine.run(&combined)
+            engine.run_with_scratch(&combined, scratch)
         }
     };
     let mut traffic = report.traffic;
@@ -240,6 +302,28 @@ mod tests {
             }),
         );
         assert_eq!(r.reduction_cycles, 0);
+    }
+
+    #[test]
+    fn combined_sums_per_core_counters() {
+        let config = NpuConfig::large_server(2);
+        let parts = [schedule(4), schedule(6)];
+        let reduction = Some(StreamOp {
+            class: TensorClass::WGrad,
+            read_bytes: 1 << 16,
+            write_bytes: 1 << 16,
+        });
+        let mc = run_multicore(&config, &parts, reduction);
+        let c = mc.combined();
+        assert_eq!(c.cycles, mc.cycles);
+        assert_eq!(c.traffic, mc.traffic);
+        assert_eq!(c.macs, mc.macs());
+        assert_eq!(
+            c.gemm_ops,
+            mc.core_reports.iter().map(|r| r.gemm_ops).sum::<u64>()
+        );
+        assert_eq!(reduction_cycles(&config, reduction), mc.reduction_cycles);
+        assert_eq!(reduction_cycles(&config, None), 0);
     }
 
     #[test]

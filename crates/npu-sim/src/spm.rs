@@ -126,7 +126,10 @@ impl SpmCache {
 
     fn touch(&mut self, key: TileKey, bytes: u64, dirty: bool) -> AccessOutcome {
         if let Some(entry) = self.entries.get_mut(&key) {
-            debug_assert_eq!(entry.bytes, bytes, "tile {key:?} size changed between touches");
+            debug_assert_eq!(
+                entry.bytes, bytes,
+                "tile {key:?} size changed between touches"
+            );
             let old_tick = entry.tick;
             self.tick += 1;
             entry.tick = self.tick;
@@ -196,7 +199,10 @@ impl SpmCache {
                 .next()
                 .expect("cache accounting broken: used > 0 but LRU empty");
             self.lru.remove(&tick);
-            let entry = self.entries.remove(&key).expect("LRU/entry map out of sync");
+            let entry = self
+                .entries
+                .remove(&key)
+                .expect("LRU/entry map out of sync");
             self.used -= entry.bytes;
             if entry.dirty {
                 writebacks.push((key, entry.bytes));
@@ -291,7 +297,7 @@ mod tests {
         let mut spm = SpmCache::new(1000);
         let acc = key(1, 0, 0);
         spm.accumulate(acc, 600); // fresh: no fetch
-        // A 600-byte read forces the dirty accumulator out.
+                                  // A 600-byte read forces the dirty accumulator out.
         let evicting = spm.read(key(0, 0, 0), 600);
         assert_eq!(evicting.writebacks, vec![(acc, 600)]);
         // Re-touching the accumulator must now re-fetch the partials.

@@ -1,8 +1,6 @@
 //! Simulation reports and per-class DRAM traffic accounting.
 
 use igo_tensor::TensorClass;
-use serde::{Deserialize, Serialize};
-
 fn class_index(class: TensorClass) -> usize {
     TensorClass::ALL
         .iter()
@@ -14,7 +12,7 @@ fn class_index(class: TensorClass) -> usize {
 ///
 /// Figure 5 of the paper reports exactly this decomposition ("the ratio of
 /// dY traffic compared to all read and write data").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Traffic {
     reads: [u64; 7],
     writes: [u64; 7],
@@ -123,7 +121,7 @@ impl core::fmt::Display for Traffic {
 }
 
 /// Result of running one schedule on one core.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimReport {
     /// Total execution cycles (makespan of compute and memory timelines).
     pub cycles: u64,

@@ -14,10 +14,9 @@
 //! compute but different memory traffic.
 
 use igo_tensor::{GemmShape, TensorClass, TileCoord};
-use serde::{Deserialize, Serialize};
-
+use std::sync::Arc;
 /// Opaque identifier of one tensor within a [`Schedule`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TensorId(u32);
 
 impl TensorId {
@@ -33,9 +32,7 @@ impl TensorId {
 }
 
 /// A tile of one tensor: the unit of SPM residency.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TileKey {
     /// The tensor this tile belongs to.
     pub tensor: TensorId,
@@ -44,7 +41,7 @@ pub struct TileKey {
 }
 
 /// One tile access (operand read or accumulator touch) with its byte size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileAccess {
     /// Which tile.
     pub key: TileKey,
@@ -53,7 +50,7 @@ pub struct TileAccess {
 }
 
 /// One tiled GEMM operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TileOp {
     /// Operand tiles read by this op.
     pub reads: Vec<TileAccess>,
@@ -111,7 +108,7 @@ impl TileOp {
 
 /// A pure data-movement operation (no compute): used for cross-partition
 /// reductions and element-wise passes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamOp {
     /// Traffic class for accounting.
     pub class: TensorClass,
@@ -122,7 +119,7 @@ pub struct StreamOp {
 }
 
 /// One element of a schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScheduleOp {
     /// A tiled GEMM.
     Gemm(TileOp),
@@ -136,17 +133,22 @@ pub enum ScheduleOp {
     Barrier,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct TensorInfo {
     class: TensorClass,
     name: String,
 }
 
 /// An ordered stream of operations over registered tensors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The tensor table is behind an [`Arc`]: forking a schedule (the partition
+/// builders create one fork per partition) shares the table instead of
+/// cloning it, and only a post-fork `add_tensor`/`extend_from` pays for a
+/// copy-on-write.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     name: String,
-    tensors: Vec<TensorInfo>,
+    tensors: Arc<Vec<TensorInfo>>,
     ops: Vec<ScheduleOp>,
 }
 
@@ -155,7 +157,7 @@ impl Schedule {
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
-            tensors: Vec::new(),
+            tensors: Arc::new(Vec::new()),
             ops: Vec::new(),
         }
     }
@@ -165,7 +167,8 @@ impl Schedule {
         &self.name
     }
 
-    /// Clone this schedule's tensor table into a new, empty schedule.
+    /// Share this schedule's tensor table with a new, empty schedule
+    /// (an `Arc` bump, not a copy).
     ///
     /// Partition schedules must be built from forks of one parent so that a
     /// tensor shared between partitions keeps a single identity: tiles of
@@ -174,7 +177,7 @@ impl Schedule {
     pub fn fork(&self, name: impl Into<String>) -> Schedule {
         Schedule {
             name: name.into(),
-            tensors: self.tensors.clone(),
+            tensors: Arc::clone(&self.tensors),
             ops: Vec::new(),
         }
     }
@@ -182,7 +185,7 @@ impl Schedule {
     /// Register a tensor and get its id.
     pub fn add_tensor(&mut self, class: TensorClass, name: impl Into<String>) -> TensorId {
         let id = TensorId(self.tensors.len() as u32);
-        self.tensors.push(TensorInfo {
+        Arc::make_mut(&mut self.tensors).push(TensorInfo {
             class,
             name: name.into(),
         });
@@ -280,8 +283,8 @@ impl Schedule {
     ///
     /// Panics if the tensor tables differ.
     pub fn append_compatible(&mut self, other: &Schedule) {
-        assert_eq!(
-            self.tensors, other.tensors,
+        assert!(
+            Arc::ptr_eq(&self.tensors, &other.tensors) || self.tensors == other.tensors,
             "append_compatible requires identical tensor tables"
         );
         self.ops.extend(other.ops.iter().cloned());
@@ -292,7 +295,7 @@ impl Schedule {
     /// sequential single-core stream.
     pub fn extend_from(&mut self, other: &Schedule) {
         let base = self.tensors.len() as u32;
-        self.tensors.extend(other.tensors.iter().cloned());
+        Arc::make_mut(&mut self.tensors).extend(other.tensors.iter().cloned());
         for op in &other.ops {
             match op {
                 ScheduleOp::Gemm(g) => {
@@ -394,6 +397,25 @@ mod tests {
         });
         assert_eq!(s.total_macs(), 0);
         assert_eq!(s.named_read_bytes(), 100);
+    }
+
+    #[test]
+    fn fork_shares_tensor_table_without_copying() {
+        let s = demo_schedule();
+        let f = s.fork("child");
+        assert!(Arc::ptr_eq(&s.tensors, &f.tensors), "fork must share");
+        assert_eq!(f.num_tensors(), s.num_tensors());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn post_fork_registration_copies_on_write() {
+        let s = demo_schedule();
+        let mut f = s.fork("child");
+        let extra = f.add_tensor(TensorClass::Partial, "spill");
+        assert_eq!(f.num_tensors(), 4);
+        assert_eq!(s.num_tensors(), 3, "parent untouched");
+        assert_eq!(f.class_of(extra), TensorClass::Partial);
     }
 
     #[test]

@@ -17,10 +17,8 @@
 //! for the replication.
 
 use crate::GemmShape;
-use serde::{Deserialize, Serialize};
-
 /// Shape of a (possibly grouped) 2-D convolution layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConvShape {
     /// Batch size `B`.
     pub batch: u64,
@@ -93,8 +91,14 @@ impl ConvShape {
         padding: u64,
         groups: u64,
     ) -> Self {
-        assert!(batch > 0 && in_channels > 0 && in_h > 0 && in_w > 0, "zero input extent");
-        assert!(out_channels > 0 && kernel > 0 && stride > 0 && groups > 0, "zero parameter");
+        assert!(
+            batch > 0 && in_channels > 0 && in_h > 0 && in_w > 0,
+            "zero input extent"
+        );
+        assert!(
+            out_channels > 0 && kernel > 0 && stride > 0 && groups > 0,
+            "zero parameter"
+        );
         assert!(
             in_channels.is_multiple_of(groups) && out_channels.is_multiple_of(groups),
             "channels ({in_channels}->{out_channels}) must divide groups ({groups})"

@@ -5,10 +5,8 @@
 //! like TPUv2/v3, which accumulate in fp32). The simulator is parameterised
 //! over [`DataType`] so mixed-precision what-if experiments are possible.
 
-use serde::{Deserialize, Serialize};
-
 /// Element type of a tensor stored in SPM / DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DataType {
     /// IEEE-754 single precision (4 bytes). The evaluation default.
     #[default]

@@ -20,10 +20,8 @@
 //! paper's Algorithm 1 reasons purely in terms of the forward `(M,K,N)`.
 
 use crate::{DataType, TileGrid, TileShape};
-use serde::{Deserialize, Serialize};
-
 /// Plain `rows x cols` dimensions of one matrix operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatrixDims {
     /// Number of rows.
     pub rows: u64,
@@ -68,7 +66,7 @@ impl core::fmt::Display for MatrixDims {
 ///
 /// Constructors panic on zero dimensions: a zero-sized GEMM has no meaning in
 /// the scheduling space and would otherwise silently produce empty schedules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GemmShape {
     m: u64,
     k: u64,
@@ -82,7 +80,10 @@ impl GemmShape {
     ///
     /// Panics if any of `m`, `k`, `n` is zero.
     pub fn new(m: u64, k: u64, n: u64) -> Self {
-        assert!(m > 0 && k > 0 && n > 0, "GEMM dims must be positive: ({m},{k},{n})");
+        assert!(
+            m > 0 && k > 0 && n > 0,
+            "GEMM dims must be positive: ({m},{k},{n})"
+        );
         Self { m, k, n }
     }
 
@@ -266,7 +267,7 @@ impl core::fmt::Display for GemmShape {
 }
 
 /// One of the three GEMM dimensions — the axis a partitioning scheme splits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GemmDim {
     /// The batch-times-spatial dimension (rows of `X` and `Y`).
     M,

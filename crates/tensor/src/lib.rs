@@ -38,16 +38,16 @@
 pub mod conv;
 pub mod dtype;
 pub mod gemm;
+pub mod rng;
 pub mod tile;
 pub mod traversal;
 
 pub use conv::ConvShape;
 pub use dtype::DataType;
 pub use gemm::{GemmDim, GemmShape, MatrixDims};
+pub use rng::SplitMix64;
 pub use tile::{TileCoord, TileGrid, TileShape};
 pub use traversal::{Major, TraversalOrder};
-
-use serde::{Deserialize, Serialize};
 
 /// The role a tensor plays in a training step.
 ///
@@ -57,7 +57,7 @@ use serde::{Deserialize, Serialize};
 /// `Y`. `Partial` marks spilled intermediate accumulator tiles created by the
 /// dXmajor / dWmajor reorderings (§4.3: "intermediate results ... stored in
 /// the off-chip memory, resulting in an additional memory traffic").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TensorClass {
     /// Input feature map `X` (forward operand; backward operand of `dW`).
     Ifmap,

@@ -8,10 +8,8 @@
 //! checks exhaustively and by property testing.
 
 use crate::{DataType, MatrixDims};
-use serde::{Deserialize, Serialize};
-
 /// Nominal tile dimensions (rows x cols), before edge clipping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileShape {
     /// Nominal tile rows.
     pub rows: u64,
@@ -48,7 +46,7 @@ impl core::fmt::Display for TileShape {
 }
 
 /// Grid coordinates of one tile within a [`TileGrid`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TileCoord {
     /// Tile-row index (0-based).
     pub r: u32,
@@ -70,7 +68,7 @@ impl core::fmt::Display for TileCoord {
 }
 
 /// Decomposition of a matrix into a grid of tiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileGrid {
     matrix: MatrixDims,
     tile: TileShape,
@@ -188,7 +186,7 @@ impl core::fmt::Display for TileGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn exact_division() {
@@ -256,55 +254,58 @@ mod tests {
         let _ = g.tile_dims(TileCoord::new(3, 0));
     }
 
-    proptest! {
-        /// The grid covers the matrix exactly: summed clipped tile areas
-        /// equal the matrix area, for arbitrary matrix/tile shapes.
-        #[test]
-        fn tiles_cover_matrix_exactly(
-            rows in 1u64..2000,
-            cols in 1u64..2000,
-            tr in 1u64..300,
-            tc in 1u64..300,
-        ) {
-            let m = MatrixDims::new(rows, cols);
-            let g = TileGrid::new(m, TileShape::new(tr, tc));
+    /// The grid covers the matrix exactly: summed clipped tile areas
+    /// equal the matrix area, for sampled matrix/tile shapes.
+    #[test]
+    fn tiles_cover_matrix_exactly() {
+        let mut rng = SplitMix64::new(0xC0FE);
+        for _ in 0..64 {
+            let m = MatrixDims::new(rng.range_u64(1, 2000), rng.range_u64(1, 2000));
+            let g = TileGrid::new(
+                m,
+                TileShape::new(rng.range_u64(1, 300), rng.range_u64(1, 300)),
+            );
             let area: u64 = g.iter_row_major().map(|c| g.tile_dims(c).elems()).sum();
-            prop_assert_eq!(area, m.elems());
-            prop_assert_eq!(g.total_bytes(DataType::F32), m.bytes(DataType::F32));
+            assert_eq!(area, m.elems());
+            assert_eq!(g.total_bytes(DataType::F32), m.bytes(DataType::F32));
         }
+    }
 
-        /// Row-major and column-major traversals visit the same set of
-        /// coordinates exactly once.
-        #[test]
-        fn traversals_are_permutations(
-            rows in 1u64..500,
-            cols in 1u64..500,
-            t in 1u64..100,
-        ) {
-            let g = TileGrid::new(MatrixDims::new(rows, cols), TileShape::square(t));
+    /// Row-major and column-major traversals visit the same set of
+    /// coordinates exactly once.
+    #[test]
+    fn traversals_are_permutations() {
+        let mut rng = SplitMix64::new(0xBEE);
+        for _ in 0..64 {
+            let g = TileGrid::new(
+                MatrixDims::new(rng.range_u64(1, 500), rng.range_u64(1, 500)),
+                TileShape::square(rng.range_u64(1, 100)),
+            );
             let mut a: Vec<_> = g.iter_row_major().collect();
             let mut b: Vec<_> = g.iter_col_major().collect();
-            prop_assert_eq!(a.len() as u64, g.num_tiles());
+            assert_eq!(a.len() as u64, g.num_tiles());
             a.sort();
             b.sort();
-            prop_assert_eq!(&a, &b);
+            assert_eq!(&a, &b);
             a.dedup();
-            prop_assert_eq!(a.len() as u64, g.num_tiles());
+            assert_eq!(a.len() as u64, g.num_tiles());
         }
+    }
 
-        /// No clipped tile exceeds the nominal shape.
-        #[test]
-        fn clipped_tiles_never_exceed_nominal(
-            rows in 1u64..1000,
-            cols in 1u64..1000,
-            tr in 1u64..200,
-            tc in 1u64..200,
-        ) {
-            let g = TileGrid::new(MatrixDims::new(rows, cols), TileShape::new(tr, tc));
+    /// No clipped tile exceeds the nominal shape.
+    #[test]
+    fn clipped_tiles_never_exceed_nominal() {
+        let mut rng = SplitMix64::new(0xD1CE);
+        for _ in 0..64 {
+            let (tr, tc) = (rng.range_u64(1, 200), rng.range_u64(1, 200));
+            let g = TileGrid::new(
+                MatrixDims::new(rng.range_u64(1, 1000), rng.range_u64(1, 1000)),
+                TileShape::new(tr, tc),
+            );
             for coord in g.iter_row_major() {
                 let d = g.tile_dims(coord);
-                prop_assert!(d.rows >= 1 && d.rows <= tr);
-                prop_assert!(d.cols >= 1 && d.cols <= tc);
+                assert!(d.rows >= 1 && d.rows <= tr);
+                assert!(d.cols >= 1 && d.cols <= tc);
             }
         }
     }

@@ -9,10 +9,8 @@
 //! schedule families of Figure 10.
 
 use crate::{TileCoord, TileGrid};
-use serde::{Deserialize, Serialize};
-
 /// A traversal order over the tiles of one matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Major {
     /// Sweep columns within a row, then advance the row.
     Row,
@@ -48,7 +46,7 @@ impl core::fmt::Display for Major {
 }
 
 /// The three interleaved tile-access orders of Figure 10.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraversalOrder {
     /// Figure 10 (a): each gradient keeps its traditional order — `dX`
     /// row-major over `dY`, `dW` column-major over `dY`.

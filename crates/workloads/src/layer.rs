@@ -15,11 +15,9 @@
 //! not generate schedules.
 
 use igo_tensor::{ConvShape, GemmShape};
-use serde::{Deserialize, Serialize};
-
 /// What kind of computation a layer is (for reporting and Figure 13's
 /// shallow/deep split).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// A convolution, lowered via im2col.
     Conv,
@@ -40,7 +38,7 @@ impl core::fmt::Display for LayerKind {
 }
 
 /// One trainable layer, lowered to its forward GEMM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     /// Layer name, unique within the model (e.g. `res3b_conv2`).
     pub name: String,
@@ -121,7 +119,7 @@ impl Layer {
 }
 
 /// Identifiers for the Table 4 model zoo.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ModelId {
     /// FasterRCNN object detector (19M parameters).
     FasterRcnn,
@@ -174,7 +172,7 @@ impl core::fmt::Display for ModelId {
 }
 
 /// A model: an ordered list of trainable layers plus embedding metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Model {
     /// Which zoo entry this is.
     pub id: ModelId,

@@ -16,11 +16,11 @@ struct Inception {
     name: &'static str,
     size: u64,
     c_in: u64,
-    b1: u64,       // 1x1
-    b3r: u64,      // 3x3 reduce
-    b3: u64,       // 3x3
-    b5r: u64,      // 5x5 reduce
-    b5: u64,       // 5x5
+    b1: u64,        // 1x1
+    b3r: u64,       // 3x3 reduce
+    b3: u64,        // 3x3
+    b5r: u64,       // 5x5 reduce
+    b5: u64,        // 5x5
     pool_proj: u64, // 1x1 after pool
 }
 
@@ -72,15 +72,105 @@ pub fn build(batch: u64) -> Model {
 
     // The nine inception modules (GoogLeNet table 1 of the original paper).
     let modules = [
-        Inception { name: "3a", size: 28, c_in: 192, b1: 64, b3r: 96, b3: 128, b5r: 16, b5: 32, pool_proj: 32 },
-        Inception { name: "3b", size: 28, c_in: 256, b1: 128, b3r: 128, b3: 192, b5r: 32, b5: 96, pool_proj: 64 },
-        Inception { name: "4a", size: 14, c_in: 480, b1: 192, b3r: 96, b3: 208, b5r: 16, b5: 48, pool_proj: 64 },
-        Inception { name: "4b", size: 14, c_in: 512, b1: 160, b3r: 112, b3: 224, b5r: 24, b5: 64, pool_proj: 64 },
-        Inception { name: "4c", size: 14, c_in: 512, b1: 128, b3r: 128, b3: 256, b5r: 24, b5: 64, pool_proj: 64 },
-        Inception { name: "4d", size: 14, c_in: 512, b1: 112, b3r: 144, b3: 288, b5r: 32, b5: 64, pool_proj: 64 },
-        Inception { name: "4e", size: 14, c_in: 528, b1: 256, b3r: 160, b3: 320, b5r: 32, b5: 128, pool_proj: 128 },
-        Inception { name: "5a", size: 7, c_in: 832, b1: 256, b3r: 160, b3: 320, b5r: 32, b5: 128, pool_proj: 128 },
-        Inception { name: "5b", size: 7, c_in: 832, b1: 384, b3r: 192, b3: 384, b5r: 48, b5: 128, pool_proj: 128 },
+        Inception {
+            name: "3a",
+            size: 28,
+            c_in: 192,
+            b1: 64,
+            b3r: 96,
+            b3: 128,
+            b5r: 16,
+            b5: 32,
+            pool_proj: 32,
+        },
+        Inception {
+            name: "3b",
+            size: 28,
+            c_in: 256,
+            b1: 128,
+            b3r: 128,
+            b3: 192,
+            b5r: 32,
+            b5: 96,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4a",
+            size: 14,
+            c_in: 480,
+            b1: 192,
+            b3r: 96,
+            b3: 208,
+            b5r: 16,
+            b5: 48,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4b",
+            size: 14,
+            c_in: 512,
+            b1: 160,
+            b3r: 112,
+            b3: 224,
+            b5r: 24,
+            b5: 64,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4c",
+            size: 14,
+            c_in: 512,
+            b1: 128,
+            b3r: 128,
+            b3: 256,
+            b5r: 24,
+            b5: 64,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4d",
+            size: 14,
+            c_in: 512,
+            b1: 112,
+            b3r: 144,
+            b3: 288,
+            b5r: 32,
+            b5: 64,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4e",
+            size: 14,
+            c_in: 528,
+            b1: 256,
+            b3r: 160,
+            b3: 320,
+            b5r: 32,
+            b5: 128,
+            pool_proj: 128,
+        },
+        Inception {
+            name: "5a",
+            size: 7,
+            c_in: 832,
+            b1: 256,
+            b3r: 160,
+            b3: 320,
+            b5r: 32,
+            b5: 128,
+            pool_proj: 128,
+        },
+        Inception {
+            name: "5b",
+            size: 7,
+            c_in: 832,
+            b1: 384,
+            b3r: 192,
+            b3: 384,
+            b5r: 48,
+            b5: 128,
+            pool_proj: 128,
+        },
     ];
     for module in &modules {
         module.layers(batch, &mut layers);
@@ -127,7 +217,9 @@ mod tests {
         let inception_layers = m
             .layers
             .iter()
-            .filter(|l| l.name.contains("_3x3") && !l.name.contains('r') && !l.name.starts_with("conv2"))
+            .filter(|l| {
+                l.name.contains("_3x3") && !l.name.contains('r') && !l.name.starts_with("conv2")
+            })
             .count();
         assert_eq!(inception_layers, 9);
     }

@@ -29,9 +29,7 @@ pub fn build(batch: u64) -> Model {
         "res2a_conv1",
         ConvShape::new(batch, 64, 56, 56, 64, 1, 1, 0),
     ));
-    layers.push(
-        Layer::conv("res2_conv2", ConvShape::new(batch, 64, 56, 56, 64, 3, 1, 1)).times(3),
-    );
+    layers.push(Layer::conv("res2_conv2", ConvShape::new(batch, 64, 56, 56, 64, 3, 1, 1)).times(3));
     layers.push(
         Layer::conv(
             "res2_conv3",
@@ -118,9 +116,7 @@ pub fn build(batch: u64) -> Model {
         "res5a_conv1",
         ConvShape::new(batch, 1024, 14, 14, 512, 1, 2, 0),
     ));
-    layers.push(
-        Layer::conv("res5_conv2", ConvShape::new(batch, 512, 7, 7, 512, 3, 1, 1)).times(3),
-    );
+    layers.push(Layer::conv("res5_conv2", ConvShape::new(batch, 512, 7, 7, 512, 3, 1, 1)).times(3));
     layers.push(
         Layer::conv(
             "res5_conv3",

@@ -124,8 +124,11 @@ pub fn build_v5(batch: u64) -> Model {
     ));
     c3_block("neck_bu_p5", batch, 1024, 20, 3, &mut layers);
     // Detection heads at three scales: 1x1 to 3 anchors x 85.
-    for (name, c, size) in [("det_p3", 256u64, 80u64), ("det_p4", 512, 40), ("det_p5", 1024, 20)]
-    {
+    for (name, c, size) in [
+        ("det_p3", 256u64, 80u64),
+        ("det_p4", 512, 40),
+        ("det_p5", 1024, 20),
+    ] {
         layers.push(Layer::conv(
             name,
             ConvShape::new(batch, c, size, size, 255, 1, 1, 0),

@@ -16,10 +16,22 @@ fn main() {
         "layer", "base", "inter", "rearr", "part"
     );
     for layer in &model.layers {
-        let (b, _) = simulate_layer_backward(layer.gemm, &config, Technique::Baseline, layer.is_first);
-        let (i, _) = simulate_layer_backward(layer.gemm, &config, Technique::Interleaving, layer.is_first);
-        let (r, d) = simulate_layer_backward(layer.gemm, &config, Technique::Rearrangement, layer.is_first);
-        let (p, pd) = simulate_layer_backward(layer.gemm, &config, Technique::DataPartitioning, layer.is_first);
+        let (b, _) =
+            simulate_layer_backward(layer.gemm, &config, Technique::Baseline, layer.is_first);
+        let (i, _) =
+            simulate_layer_backward(layer.gemm, &config, Technique::Interleaving, layer.is_first);
+        let (r, d) = simulate_layer_backward(
+            layer.gemm,
+            &config,
+            Technique::Rearrangement,
+            layer.is_first,
+        );
+        let (p, pd) = simulate_layer_backward(
+            layer.gemm,
+            &config,
+            Technique::DataPartitioning,
+            layer.is_first,
+        );
         println!(
             "{:<18} {:>10} {:>10.3} {:>10.3} {:>10.3} | {} m={} misses={} dyR={}MB memb={:.2} order={:?} part={:?}",
             layer.name,
@@ -38,7 +50,11 @@ fn main() {
     }
     // One isolated shape study.
     let g = GemmShape::new(25088, 576, 64);
-    for t in [Technique::Baseline, Technique::Interleaving, Technique::Rearrangement] {
+    for t in [
+        Technique::Baseline,
+        Technique::Interleaving,
+        Technique::Rearrangement,
+    ] {
         let (r, _) = simulate_layer_backward(g, &config, t, false);
         println!(
             "{t:<20} cycles={} mem={} comp={} reads={}MB writes={}MB hits={} misses={}",

@@ -5,14 +5,25 @@ use igo_workloads::{zoo, ModelId};
 
 fn main() {
     let config = NpuConfig::small_edge();
-    for model in [zoo::model(ModelId::Dlrm, 4), zoo::model(ModelId::YoloV2Tiny, 4)] {
+    for model in [
+        zoo::model(ModelId::Dlrm, 4),
+        zoo::model(ModelId::YoloV2Tiny, 4),
+    ] {
         println!("== {}", model.name);
         for layer in &model.layers {
             let (b, _) = simulate_layer_backward_ex(
-                layer.gemm, layer.ifmap_density, &config, Technique::Baseline, layer.is_first,
+                layer.gemm,
+                layer.ifmap_density,
+                &config,
+                Technique::Baseline,
+                layer.is_first,
             );
             let (i, _) = simulate_layer_backward_ex(
-                layer.gemm, layer.ifmap_density, &config, Technique::Interleaving, layer.is_first,
+                layer.gemm,
+                layer.ifmap_density,
+                &config,
+                Technique::Interleaving,
+                layer.is_first,
             );
             println!(
                 "{:<12} {} base={} inter={:.3} | base reads {}KB writes {}KB vs inter reads {}KB writes {}KB | hits {} vs {}",

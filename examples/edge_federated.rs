@@ -25,18 +25,18 @@ fn main() {
         total_base += base.total_cycles();
         total_ours += ours.total_cycles();
         println!(
-            "{:<12} one local step: {:>8.2} ms -> {:>8.2} ms  ({} faster)",
+            "{:<12} one local step: {:>8.2} ms -> {:>8.2} ms  ({:.1}% faster)",
             model.name,
             base.total_cycles() as f64 / config.freq_hz * 1e3,
             ours.total_cycles() as f64 / config.freq_hz * 1e3,
-            format!("{:.1}%", (1.0 - ours.normalized_to(&base)) * 100.0),
+            (1.0 - ours.normalized_to(&base)) * 100.0,
         );
 
         // Federated round: 50 local steps before uploading the update.
         let steps = 50u64;
-        let saved_ms =
-            (base.total_cycles() - ours.total_cycles()) as f64 * steps as f64 / config.freq_hz
-                * 1e3;
+        let saved_ms = (base.total_cycles() - ours.total_cycles()) as f64 * steps as f64
+            / config.freq_hz
+            * 1e3;
         println!(
             "{:<12} per 50-step round: {:.0} ms of NPU time saved",
             "", saved_ms

@@ -43,7 +43,10 @@ fn main() {
             .partition
             .map(|(s, p)| format!("{s} x{p}"))
             .unwrap_or_else(|| "unpartitioned".to_owned());
-        println!("  {:<16} {:<24} order {:?}", layer.name, scheme, layer.decision.order);
+        println!(
+            "  {:<16} {:<24} order {:?}",
+            layer.name, scheme, layer.decision.order
+        );
     }
     let _ = PartitionScheme::ALL; // re-exported for users writing their own selectors
 }

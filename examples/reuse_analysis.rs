@@ -45,7 +45,11 @@ fn main() {
                 name,
                 profile.accesses.get(&dy).copied().unwrap_or(0),
                 profile.reuses.get(&dy).copied().unwrap_or(0),
-                profile.reuses_within_capacity.get(&dy).copied().unwrap_or(0),
+                profile
+                    .reuses_within_capacity
+                    .get(&dy)
+                    .copied()
+                    .unwrap_or(0),
                 profile.capture_rate(dy) * 100.0,
             );
         }

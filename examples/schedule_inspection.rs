@@ -16,10 +16,7 @@ fn main() {
     let engine = Engine::new(&config);
 
     println!("layer {gemm} on {}", config.name);
-    println!(
-        "algorithm 1 selects: {}\n",
-        select_order(gemm)
-    );
+    println!("algorithm 1 selects: {}\n", select_order(gemm));
     println!(
         "{:<14} {:>8} {:>12} {:>10} {:>10} {:>10} {:>9}",
         "order", "ops", "cycles", "dY-read", "W-read", "X-read", "hit-rate"
@@ -50,5 +47,7 @@ fn main() {
             report.hit_rate() * 100.0,
         );
     }
-    println!("\nall orders perform the same multiply-accumulates; only the memory behaviour differs.");
+    println!(
+        "\nall orders perform the same multiply-accumulates; only the memory behaviour differs."
+    );
 }

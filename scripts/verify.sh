@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline verification gate for the IGO workspace.
+#
+# Runs the same checks CI would: formatting, lints (warnings are errors),
+# a release build, and the full test suite (unit + integration + doc).
+# Everything is hermetic — path-only dependencies, no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "verify: all checks passed"

@@ -1,0 +1,116 @@
+//! Golden determinism tests for the optimized simulation pipeline.
+//!
+//! The pipeline's performance features — worker-pool parallelism, layer
+//! memoization, lower-bound candidate pruning (`SimOptions`) — must be
+//! invisible in the results: every zoo model, on both Table-3 NPU
+//! configurations, has to produce *bit-identical* reports (cycles,
+//! per-class traffic, scheduler decisions) on the optimized path and on
+//! the plain sequential reference path. A forced 3-worker pool exercises
+//! real cross-thread reductions even on a single-CPU machine.
+
+use igo_core::{simulate_model_with, ModelReport, SimOptions, Technique};
+use igo_npu_sim::NpuConfig;
+use igo_workloads::{zoo, ModelId};
+
+/// Optimized options with a pool forced larger than one worker, so the
+/// deterministic-reduction claim is tested with real threads everywhere.
+const OPTIMIZED: SimOptions = SimOptions {
+    parallel: true,
+    memoize: true,
+    prune: true,
+    workers: 3,
+};
+
+/// Every distinct zoo model (the union of the server and edge suites).
+fn all_zoo_models() -> Vec<ModelId> {
+    let mut ids: Vec<ModelId> = Vec::new();
+    for id in zoo::SERVER_SUITE.iter().chain(zoo::EDGE_SUITE.iter()) {
+        if !ids.contains(id) {
+            ids.push(*id);
+        }
+    }
+    ids
+}
+
+fn assert_identical(seq: &ModelReport, opt: &ModelReport) {
+    assert_eq!(
+        seq.layers.len(),
+        opt.layers.len(),
+        "{}: layer count diverged",
+        seq.model
+    );
+    for (l, r) in seq.layers.iter().zip(&opt.layers) {
+        assert_eq!(
+            l.forward, r.forward,
+            "{}/{}: forward report diverged",
+            seq.model, l.name
+        );
+        assert_eq!(
+            l.backward, r.backward,
+            "{}/{}: backward report diverged",
+            seq.model, l.name
+        );
+        assert_eq!(
+            l.decision, r.decision,
+            "{}/{}: scheduler decision diverged",
+            seq.model, l.name
+        );
+        assert_eq!(l.multiplicity, r.multiplicity);
+    }
+    assert_eq!(seq.total_cycles(), opt.total_cycles());
+    assert_eq!(seq.total_traffic(), opt.total_traffic());
+    assert_eq!(seq.backward_traffic(), opt.backward_traffic());
+}
+
+/// Run every zoo model under `technique` on `config`, sequential vs
+/// optimized, and demand bit-identical reports. A small batch keeps the
+/// sequential reference affordable without shrinking the candidate space.
+fn golden_sweep(config: &NpuConfig, batch: u64, technique: Technique) {
+    for id in all_zoo_models() {
+        let model = zoo::model(id, batch);
+        let seq = simulate_model_with(&model, config, technique, &SimOptions::sequential());
+        let opt = simulate_model_with(&model, config, technique, &OPTIMIZED);
+        assert_identical(&seq, &opt);
+        // A second optimized run is served from the warm cache and must
+        // still match.
+        let warm = simulate_model_with(&model, config, technique, &OPTIMIZED);
+        assert_identical(&seq, &warm);
+    }
+}
+
+#[test]
+fn zoo_partitioning_is_bit_identical_on_edge_config() {
+    golden_sweep(&NpuConfig::small_edge(), 1, Technique::DataPartitioning);
+}
+
+#[test]
+fn zoo_partitioning_is_bit_identical_on_server_config() {
+    golden_sweep(
+        &NpuConfig::large_single_core(),
+        1,
+        Technique::DataPartitioning,
+    );
+}
+
+#[test]
+fn zoo_baseline_is_bit_identical_on_server_config() {
+    golden_sweep(&NpuConfig::large_single_core(), 1, Technique::Baseline);
+}
+
+#[test]
+fn multicore_partitioning_is_bit_identical() {
+    // The multi-core execution model (per-core schedules plus reduction)
+    // goes through its own candidate path; cover it on two cores.
+    let config = NpuConfig::large_server(2);
+    for id in [ModelId::Ncf, ModelId::BertTiny] {
+        let model = zoo::model(id, 4);
+        let seq = simulate_model_with(
+            &model,
+            &config,
+            Technique::DataPartitioning,
+            &SimOptions::sequential(),
+        );
+        let opt = simulate_model_with(&model, &config, Technique::DataPartitioning, &OPTIMIZED);
+        assert_identical(&seq, &opt);
+    }
+}

@@ -38,7 +38,10 @@ fn figure12_full_stack_wins_on_both_configs() {
         .map(|id| zoo::model(id, 8))
         .collect();
     let part = mean_normalized(&models, &server, Technique::DataPartitioning);
-    assert!(part < 1.0, "server full stack must win on average: {part:.3}");
+    assert!(
+        part < 1.0,
+        "server full stack must win on average: {part:.3}"
+    );
 }
 
 #[test]

@@ -1,14 +1,14 @@
-//! Property-based invariants of the schedule transformations: whatever
-//! the shape, the paper's reorderings must never change the computation —
-//! only the memory behaviour.
+//! Sampled invariants of the schedule transformations: whatever the shape,
+//! the paper's reorderings must never change the computation — only the
+//! memory behaviour. (Deterministic SplitMix64 sampling in place of a
+//! property-based sweep, so the suite runs with no external dependencies.)
 
 use igo_core::{
     partition::{partition_backward, PartitionScheme},
     BackwardBuilder, BackwardOrder, LayerTensors, TilePolicy,
 };
 use igo_npu_sim::{Engine, NpuConfig, Schedule, ScheduleOp};
-use igo_tensor::{GemmShape, TensorClass};
-use proptest::prelude::*;
+use igo_tensor::{GemmShape, SplitMix64, TensorClass};
 use std::collections::HashSet;
 
 fn policy() -> TilePolicy {
@@ -27,13 +27,9 @@ fn result_tiles(s: &Schedule) -> HashSet<(TensorClass, u32, u32)> {
     s.ops()
         .iter()
         .filter_map(|op| match op {
-            ScheduleOp::Gemm(g) => g.acc.map(|a| {
-                (
-                    s.class_of(a.key.tensor),
-                    a.key.coord.r,
-                    a.key.coord.c,
-                )
-            }),
+            ScheduleOp::Gemm(g) => g
+                .acc
+                .map(|a| (s.class_of(a.key.tensor), a.key.coord.r, a.key.coord.c)),
             _ => None,
         })
         .collect()
@@ -46,20 +42,23 @@ const ORDERS: [BackwardOrder; 4] = [
     BackwardOrder::DwMajor,
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn sample(rng: &mut SplitMix64, m: (u64, u64), k: (u64, u64), n: (u64, u64)) -> GemmShape {
+    GemmShape::new(
+        rng.range_u64(m.0, m.1),
+        rng.range_u64(k.0, k.1),
+        rng.range_u64(n.0, n.1),
+    )
+}
 
-    /// Every ordering performs exactly the backward MACs of the layer.
-    #[test]
-    fn orders_preserve_macs(
-        m in 1u64..2000,
-        k in 1u64..1500,
-        n in 1u64..1500,
-    ) {
-        let gemm = GemmShape::new(m, k, n);
+/// Every ordering performs exactly the backward MACs of the layer.
+#[test]
+fn orders_preserve_macs() {
+    let mut rng = SplitMix64::new(0xA1);
+    for _ in 0..24 {
+        let gemm = sample(&mut rng, (1, 2000), (1, 1500), (1, 1500));
         for order in ORDERS {
             let s = build(gemm, order);
-            prop_assert_eq!(
+            assert_eq!(
                 s.total_macs(),
                 gemm.backward_macs(),
                 "{:?} on {}",
@@ -68,46 +67,39 @@ proptest! {
             );
         }
     }
+}
 
-    /// Every ordering covers exactly the same result tiles (full dX and
-    /// dW grids, nothing else).
-    #[test]
-    fn orders_cover_identical_results(
-        m in 1u64..1200,
-        k in 1u64..900,
-        n in 1u64..900,
-    ) {
-        let gemm = GemmShape::new(m, k, n);
+/// Every ordering covers exactly the same result tiles (full dX and dW
+/// grids, nothing else).
+#[test]
+fn orders_cover_identical_results() {
+    let mut rng = SplitMix64::new(0xA2);
+    for _ in 0..24 {
+        let gemm = sample(&mut rng, (1, 1200), (1, 900), (1, 900));
         let reference = result_tiles(&build(gemm, BackwardOrder::Baseline));
         let dx_tiles = gemm.dx_grid(policy().tile).num_tiles();
         let dw_tiles = gemm.dw_grid(policy().tile).num_tiles();
-        prop_assert_eq!(reference.len() as u64, dx_tiles + dw_tiles);
+        assert_eq!(reference.len() as u64, dx_tiles + dw_tiles);
         for order in ORDERS {
-            prop_assert_eq!(
-                result_tiles(&build(gemm, order)),
-                reference.clone(),
-                "{:?}",
-                order
-            );
+            assert_eq!(result_tiles(&build(gemm, order)), reference, "{:?}", order);
         }
     }
+}
 
-    /// Simulated traffic never underruns the compulsory minimum: every
-    /// distinct operand tile fetched at least once, every result tile
-    /// written at least once.
-    #[test]
-    fn traffic_respects_compulsory_bounds(
-        m in 64u64..1200,
-        k in 64u64..900,
-        n in 64u64..900,
-    ) {
-        let gemm = GemmShape::new(m, k, n);
-        let config = NpuConfig::large_single_core();
-        let engine = Engine::new(&config);
+/// Simulated traffic never underruns the compulsory minimum: every
+/// distinct operand tile fetched at least once, every result tile
+/// written at least once.
+#[test]
+fn traffic_respects_compulsory_bounds() {
+    let config = NpuConfig::large_single_core();
+    let engine = Engine::new(&config);
+    let mut rng = SplitMix64::new(0xA3);
+    for _ in 0..24 {
+        let gemm = sample(&mut rng, (64, 1200), (64, 900), (64, 900));
         for order in ORDERS {
             let s = build(gemm, order);
             let r = engine.run(&s);
-            prop_assert!(
+            assert!(
                 r.traffic.read_total() >= s.unique_operand_bytes(),
                 "{:?}: reads {} < unique operands {}",
                 order,
@@ -116,7 +108,7 @@ proptest! {
             );
             let results =
                 gemm.dx_dims().bytes(policy().dtype) + gemm.dw_dims().bytes(policy().dtype);
-            prop_assert!(
+            assert!(
                 r.traffic.write_total() >= results,
                 "{:?}: writes {} < results {}",
                 order,
@@ -125,16 +117,15 @@ proptest! {
             );
         }
     }
+}
 
-    /// Partitioning preserves MACs and the reduction matches the scheme.
-    #[test]
-    fn partitions_preserve_macs(
-        m in 8u64..800,
-        k in 8u64..600,
-        n in 8u64..600,
-        parts in 2u64..5,
-    ) {
-        let gemm = GemmShape::new(m, k, n);
+/// Partitioning preserves MACs and the reduction matches the scheme.
+#[test]
+fn partitions_preserve_macs() {
+    let mut rng = SplitMix64::new(0xA4);
+    for _ in 0..24 {
+        let gemm = sample(&mut rng, (8, 800), (8, 600), (8, 600));
+        let parts = rng.range_u64(2, 5);
         let mut proto = Schedule::new("p");
         let tensors = LayerTensors::register(&mut proto, "l");
         for scheme in PartitionScheme::ALL {
@@ -149,30 +140,28 @@ proptest! {
                 false,
             );
             let macs: u64 = p.schedules.iter().map(|s| s.total_macs()).sum();
-            prop_assert_eq!(macs, gemm.backward_macs(), "{}", scheme);
+            assert_eq!(macs, gemm.backward_macs(), "{}", scheme);
             match scheme {
-                PartitionScheme::IfmapSharing => prop_assert!(p.reduction.is_none()),
-                _ => prop_assert!(p.reduction.is_some()),
+                PartitionScheme::IfmapSharing => assert!(p.reduction.is_none()),
+                _ => assert!(p.reduction.is_some()),
             }
         }
     }
+}
 
-    /// The interleaved schedule always reads no more dY bytes than the
-    /// barrier-separated baseline.
-    #[test]
-    fn interleaving_never_inflates_dy(
-        m in 64u64..1500,
-        k in 64u64..800,
-        n in 64u64..800,
-    ) {
-        let gemm = GemmShape::new(m, k, n);
-        let config = NpuConfig::large_single_core();
-        let engine = Engine::new(&config);
+/// The interleaved schedule always reads no more dY bytes than the
+/// barrier-separated baseline.
+#[test]
+fn interleaving_never_inflates_dy() {
+    let config = NpuConfig::large_single_core();
+    let engine = Engine::new(&config);
+    let mut rng = SplitMix64::new(0xA5);
+    for _ in 0..24 {
+        let gemm = sample(&mut rng, (64, 1500), (64, 800), (64, 800));
         let base = engine.run(&build(gemm, BackwardOrder::Baseline));
         let inter = engine.run(&build(gemm, BackwardOrder::Interleaved));
-        prop_assert!(
-            inter.traffic.read(TensorClass::OutGrad)
-                <= base.traffic.read(TensorClass::OutGrad),
+        assert!(
+            inter.traffic.read(TensorClass::OutGrad) <= base.traffic.read(TensorClass::OutGrad),
             "dY reads: inter {} vs base {}",
             inter.traffic.read(TensorClass::OutGrad),
             base.traffic.read(TensorClass::OutGrad)
