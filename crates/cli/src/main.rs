@@ -6,11 +6,18 @@
 //! igo-sim layer   <M> <K> <N> <config>        per-order comparison of one layer
 //! igo-sim sweep   <model>                     bandwidth sweep on the large NPU
 //! igo-sim perf    [edge|server|all]           pipeline self-measurement
+//! igo-sim audit   [--seeds N] [--seed S]      differential fuzz-audit
 //! ```
 //!
 //! `<config>` is `edge`, `server`, or `serverxN` (N cores, 1..=8).
 //! `<model>` is a Table-4 abbreviation (`res`, `goo`, `mob`, `rcnn`, `ncf`,
-//! `dlrm`, `yolo`, `yolo-tiny`, `bert`, `bert-tiny`, `t5`, `t5-small`).
+//! `dlrm`, `yolo`, `yolo-tiny`, `bert`, `bert-tiny`, `t5`, `t5-small`) or a
+//! full model name (`resnet50`, `bert-large`, ...).
+//!
+//! `audit` fuzzes the scheduling pipeline against the sequential reference
+//! path and the engine's conservation invariants, printing a JSON summary;
+//! on failure it exits non-zero and lists the reproducer seeds (rerun one
+//! with `igo-sim audit --seed <seed> --seeds 1`).
 //!
 //! The global `--timing` flag appends one JSON line to stderr with the
 //! command's wall-clock time, engine-run count and memo-cache hit rate
@@ -18,8 +25,8 @@
 
 use igo_bench::wallclock::{measure, Timing};
 use igo_core::{
-    select_order, sim_cache_stats, simulate_layer_backward, simulate_model, simulate_model_with,
-    BackwardOrder, ModelReport, SimOptions, Technique,
+    run_audit, select_order, sim_cache_stats, simulate_layer_backward, simulate_model,
+    simulate_model_with, BackwardOrder, ModelReport, SimOptions, Technique,
 };
 use igo_npu_sim::{engine_run_count, NpuConfig};
 use igo_tensor::GemmShape;
@@ -32,7 +39,7 @@ use parse::{parse_config, parse_model};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  igo-sim [--timing] models\n  igo-sim [--timing] ladder <model> <edge|server|serverxN>\n  igo-sim [--timing] layer <M> <K> <N> <edge|server>\n  igo-sim [--timing] sweep <model>\n  igo-sim [--timing] perf [edge|server|all]"
+        "usage:\n  igo-sim [--timing] models\n  igo-sim [--timing] ladder <model> <edge|server|serverxN>\n  igo-sim [--timing] layer <M> <K> <N> <edge|server>\n  igo-sim [--timing] sweep <model>\n  igo-sim [--timing] perf [edge|server|all]\n  igo-sim [--timing] audit [--seeds N] [--seed S]"
     );
     ExitCode::from(2)
 }
@@ -44,15 +51,28 @@ fn main() -> ExitCode {
     let label = args.join(" ");
     let runs_before = engine_run_count();
     let cache_before = sim_cache_stats();
-    let (code, wall) = measure(|| match args.first().map(String::as_str) {
-        Some("models") => cmd_models(),
-        Some("ladder") if args.len() == 3 => cmd_ladder(&args[1], &args[2]),
-        Some("layer") if args.len() == 5 => cmd_layer(&args[1..]),
-        Some("sweep") if args.len() == 2 => cmd_sweep(&args[1]),
-        Some("perf") if args.len() <= 2 => {
-            cmd_perf(args.get(1).map(String::as_str).unwrap_or("all"))
+    let (code, wall) = measure(|| {
+        // `audit` parses its own `--seeds`/`--seed` flags; every other
+        // command takes no flags beyond the already-consumed `--timing`,
+        // so any remaining `--` argument is an explicit error instead of
+        // silently becoming a positional argument.
+        if args.first().map(String::as_str) == Some("audit") {
+            return cmd_audit(&args[1..]);
         }
-        _ => usage(),
+        if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+            eprintln!("unknown flag '{flag}'");
+            return usage();
+        }
+        match args.first().map(String::as_str) {
+            Some("models") => cmd_models(),
+            Some("ladder") if args.len() == 3 => cmd_ladder(&args[1], &args[2]),
+            Some("layer") if args.len() == 5 => cmd_layer(&args[1..]),
+            Some("sweep") if args.len() == 2 => cmd_sweep(&args[1]),
+            Some("perf") if args.len() <= 2 => {
+                cmd_perf(args.get(1).map(String::as_str).unwrap_or("all"))
+            }
+            _ => usage(),
+        }
     });
     if timing {
         let cache = sim_cache_stats();
@@ -67,6 +87,48 @@ fn main() -> ExitCode {
         eprintln!("{}", t.to_json());
     }
     code
+}
+
+/// Differential fuzz-audit: `N` seeded cases starting at base seed `S`
+/// (case `i` uses seed `S + i`). Prints the JSON summary; exits non-zero
+/// when any invariant is violated, with the reproducer seeds in the JSON.
+fn cmd_audit(args: &[String]) -> ExitCode {
+    let mut seeds: u64 = 100;
+    let mut base: u64 = 1;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => seeds = n,
+                _ => {
+                    eprintln!("--seeds requires a positive integer");
+                    return usage();
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => base = s,
+                None => {
+                    eprintln!("--seed requires an unsigned integer");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown audit argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let summary = run_audit(seeds, base);
+    println!("{}", summary.to_json());
+    if summary.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "audit FAILED: {} violation(s); rerun a failing case with: igo-sim audit --seed <seed> --seeds 1",
+            summary.violations.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_models() -> ExitCode {

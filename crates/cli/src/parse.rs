@@ -20,12 +20,28 @@ pub const MODEL_TABLE: &[(&str, ModelId)] = &[
     ("t5-small", ModelId::T5Small),
 ];
 
-/// Parse a model abbreviation.
+/// Full model names (the zoo's canonical `Model::name` strings, plus the
+/// common unsuffixed spellings), accepted alongside the abbreviations.
+const FULL_NAME_TABLE: &[(&str, ModelId)] = &[
+    ("faster-rcnn", ModelId::FasterRcnn),
+    ("googlenet", ModelId::GoogleNet),
+    ("resnet50", ModelId::Resnet50),
+    ("mobilenet", ModelId::MobileNet),
+    ("yolov5", ModelId::YoloV5),
+    ("yolov5l", ModelId::YoloV5),
+    ("yolov2-tiny", ModelId::YoloV2Tiny),
+    ("bert-large", ModelId::BertLarge),
+    ("t5-large", ModelId::T5Large),
+];
+
+/// Parse a model argument: a Table-4 abbreviation (`res`, `bert`, ...) or
+/// a full model name (`resnet50`, `bert-large`, ...), case-insensitive.
 pub fn parse_model(arg: &str) -> Option<ModelId> {
     let lower = arg.to_ascii_lowercase();
     MODEL_TABLE
         .iter()
-        .find(|(abbr, _)| *abbr == lower)
+        .chain(FULL_NAME_TABLE)
+        .find(|(name, _)| *name == lower)
         .map(|(_, id)| *id)
 }
 
@@ -57,6 +73,24 @@ mod tests {
         }
         assert_eq!(parse_model("RES"), Some(ModelId::Resnet50));
         assert_eq!(parse_model("nope"), None);
+    }
+
+    #[test]
+    fn parses_full_model_names() {
+        for (name, id) in FULL_NAME_TABLE {
+            assert_eq!(parse_model(name), Some(*id));
+        }
+        assert_eq!(parse_model("resnet50"), Some(ModelId::Resnet50));
+        assert_eq!(parse_model("BERT-Large"), Some(ModelId::BertLarge));
+        assert_eq!(parse_model("faster-rcnn"), Some(ModelId::FasterRcnn));
+        // Every zoo model's canonical name string must parse back to its id.
+        for id in igo_workloads::zoo::SERVER_SUITE
+            .iter()
+            .chain(igo_workloads::zoo::EDGE_SUITE.iter())
+        {
+            let m = igo_workloads::zoo::model(*id, 8);
+            assert_eq!(parse_model(&m.name), Some(*id), "{}", m.name);
+        }
     }
 
     #[test]

@@ -1,0 +1,1029 @@
+//! Differential fuzz-audit: seeded random layer/config/technique cases
+//! cross-checked against independent recomputations of the simulator's
+//! own guarantees.
+//!
+//! Each audited case exercises the full scheduling pipeline twice — once
+//! under the case's [`SimOptions`] and once under the plain
+//! [`SimOptions::sequential`] reference — and then re-derives, from
+//! nothing but the public machine model, every conservation property the
+//! engine claims:
+//!
+//! * **Differential**: the optimized pipeline (worker pool, memo cache,
+//!   lower-bound pruning, in any combination) must produce bit-identical
+//!   reports *and* identical scheduler decisions to the sequential path.
+//! * **Accounting**: replaying the decided schedule against a fresh
+//!   [`OptCache`] shadow model must reproduce the engine's hits, misses
+//!   and per-class DRAM traffic exactly; `hits + misses` must equal the
+//!   number of tile accesses; SPM residency may never exceed capacity;
+//!   every spilled-accumulator re-fetch must be preceded by a write-back
+//!   of that tile; and total DRAM traffic must equal the sum of fetched,
+//!   written-back and streamed bytes.
+//! * **Merge legality**: the fused backward stream must contain each
+//!   `dX`/`dW` tile operation exactly once, with mutually consistent
+//!   operand coordinates.
+//! * **Algorithm 1**: the pipeline's rearrangement decision must match an
+//!   independent recomputation of the paper's selection rule from the
+//!   tensor dimensions alone.
+//! * **Numeric** (small dense cases): executing the decided schedule on
+//!   real tile data must reproduce the `dX = dY·Wᵀ`, `dW = Xᵀ·dY`
+//!   reference within tolerance.
+//!
+//! Cases are generated from a [`SplitMix64`] stream, so every failure is
+//! reproducible from its printed seed: `igo-sim audit --seed S --seeds 1`
+//! re-runs exactly the failing case.
+
+use crate::exec::{execute_backward, max_abs_diff, DenseLayer};
+use crate::partition::{partition_backward_ex, PartitionScheme};
+use crate::pipeline::{
+    rearranged_order, simulate_layer_backward_with, simulate_layer_forward_with, LayerDecision,
+    SimOptions,
+};
+use crate::schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
+use crate::select::ALMOST_SQUARE_THRESHOLD;
+use crate::technique::Technique;
+use crate::tiling::TilePolicy;
+use igo_npu_sim::{
+    run_multicore, run_sequential_partitions, DramConfig, Engine, NpuConfig, OptCache, PeArray,
+    Schedule, ScheduleOp, SimReport, TileKey, Traffic,
+};
+use igo_tensor::{GemmShape, SplitMix64, TileCoord};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// One generated fuzz case: a layer shape, an NPU, a technique and a set
+/// of pipeline execution options, all derived deterministically from
+/// `seed`.
+#[derive(Debug, Clone)]
+pub struct AuditCase {
+    /// The generating seed (the reproducer handle).
+    pub seed: u64,
+    /// Forward GEMM shape of the audited layer.
+    pub gemm: GemmShape,
+    /// Ifmap density (im2col raw-layout scaling), in `(0, 1]`.
+    pub density: f64,
+    /// The NPU the case runs on.
+    pub config: NpuConfig,
+    /// The technique under audit.
+    pub technique: Technique,
+    /// Whether the layer is a first layer (no `dX` pass).
+    pub is_first: bool,
+    /// The optimized-path execution options to diff against the
+    /// sequential reference.
+    pub options: SimOptions,
+}
+
+const TECHNIQUES: [Technique; 6] = [
+    Technique::Baseline,
+    Technique::IdealDyReuse,
+    Technique::Interleaving,
+    Technique::Rearrangement,
+    Technique::RearrangementOracle,
+    Technique::DataPartitioning,
+];
+
+impl AuditCase {
+    /// Generate the case for `seed`. Deterministic: the same seed always
+    /// yields the same case, on every platform.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let pe_side = [8u32, 16, 32, 45, 64, 128][rng.index(6)];
+        let cores: u32 = match rng.range_u64(0, 8) {
+            0 => 2,
+            1 => 4,
+            _ => 1,
+        };
+        let tile_bytes = pe_side as u64 * pe_side as u64 * 4;
+        // Small residencies (4..48 tiles) force evictions, spills and
+        // bypasses; `residency_bytes_per_core` is `spm / cores / 2`.
+        let cap_tiles = rng.range_u64(4, 49);
+        let spm_bytes = cap_tiles * tile_bytes * 2 * cores as u64;
+        let config = NpuConfig {
+            name: format!("audit-{pe_side}x{pe_side}-{cores}c"),
+            cores,
+            pe: PeArray::new(pe_side, pe_side),
+            freq_hz: 1.0e9,
+            spm_bytes,
+            dram: DramConfig {
+                bandwidth_bytes_per_sec: rng.range_u64(2, 201) as f64 * 1.0e9,
+                burst_latency_cycles: rng.range_u64(0, 41),
+            },
+            batch_per_core: 1,
+        };
+        // Dimensions in (0, 6] tiles with ragged edges, so tile grids stay
+        // non-trivial while each engine run remains cheap.
+        let t = pe_side as u64;
+        let dim = |rng: &mut SplitMix64| {
+            let tiles = rng.range_u64(1, 7);
+            rng.range_u64((tiles - 1) * t + 1, tiles * t + 1)
+        };
+        let gemm = GemmShape::new(dim(&mut rng), dim(&mut rng), dim(&mut rng));
+        let density = if rng.range_u64(0, 2) == 0 {
+            1.0
+        } else {
+            rng.range_u64(5, 101) as f64 / 100.0
+        };
+        let technique = TECHNIQUES[rng.index(TECHNIQUES.len())];
+        let is_first = rng.range_u64(0, 8) == 0;
+        let options = SimOptions {
+            parallel: rng.range_u64(0, 2) == 1,
+            memoize: rng.range_u64(0, 2) == 1,
+            prune: rng.range_u64(0, 2) == 1,
+            workers: rng.range_u64(0, 4) as usize,
+        };
+        Self {
+            seed,
+            gemm,
+            density,
+            config,
+            technique,
+            is_first,
+            options,
+        }
+    }
+}
+
+/// One invariant violation found by the audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Seed of the case that exposed the violation (rerun with
+    /// `igo-sim audit --seed <seed> --seeds 1`).
+    pub seed: u64,
+    /// Which check failed (stable machine-readable name).
+    pub check: &'static str,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+/// Aggregate result of an audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditSummary {
+    /// Cases generated and audited.
+    pub cases: u64,
+    /// Individual checks performed across all cases.
+    pub checks: u64,
+    /// All violations found (empty on a clean run).
+    pub violations: Vec<Violation>,
+}
+
+impl AuditSummary {
+    /// Whether the audit found no violations.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The distinct failing seeds, sorted — each reproduces its case via
+    /// `igo-sim audit --seed <seed> --seeds 1`.
+    pub fn reproducer_seeds(&self) -> Vec<u64> {
+        let mut seeds: Vec<u64> = self.violations.iter().map(|v| v.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds
+    }
+
+    /// The summary as a JSON object (no external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"cases\": {},\n  \"checks\": {},\n  \"violations\": {},\n  \"passed\": {},\n  \"reproducer_seeds\": [",
+            self.cases,
+            self.checks,
+            self.violations.len(),
+            self.passed()
+        );
+        for (i, seed) in self.reproducer_seeds().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{seed}");
+        }
+        out.push_str("],\n  \"failures\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"seed\": {}, \"check\": \"{}\", \"detail\": \"{}\"}}",
+                v.seed,
+                json_escape(v.check),
+                json_escape(&v.detail)
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Audit `seeds` consecutive cases starting at `base_seed` (case `i` uses
+/// seed `base_seed + i`, so any failing seed reruns standalone).
+pub fn run_audit(seeds: u64, base_seed: u64) -> AuditSummary {
+    let mut summary = AuditSummary::default();
+    for i in 0..seeds {
+        let case = AuditCase::from_seed(base_seed.wrapping_add(i));
+        let (violations, checks) = audit_case(&case);
+        summary.cases += 1;
+        summary.checks += checks;
+        summary.violations.extend(violations);
+    }
+    summary
+}
+
+/// Run every check on one case. Returns the violations found and the
+/// number of checks performed.
+pub fn audit_case(case: &AuditCase) -> (Vec<Violation>, u64) {
+    let mut violations = Vec::new();
+    let mut checks = 0u64;
+    let sequential = SimOptions::sequential();
+
+    // Differential: forward pass.
+    checks += 1;
+    let fwd_opt = simulate_layer_forward_with(case.gemm, case.density, &case.config, &case.options);
+    let fwd_ref = simulate_layer_forward_with(case.gemm, case.density, &case.config, &sequential);
+    if fwd_opt != fwd_ref {
+        violations.push(Violation {
+            seed: case.seed,
+            check: "forward-differential",
+            detail: format!("optimized {fwd_opt:?} != sequential {fwd_ref:?}"),
+        });
+    }
+
+    // Differential: backward pass report and scheduler decision.
+    let (opt_report, opt_decision) = simulate_layer_backward_with(
+        case.gemm,
+        case.density,
+        &case.config,
+        case.technique,
+        case.is_first,
+        &case.options,
+    );
+    let (ref_report, ref_decision) = simulate_layer_backward_with(
+        case.gemm,
+        case.density,
+        &case.config,
+        case.technique,
+        case.is_first,
+        &sequential,
+    );
+    checks += 1;
+    if opt_report != ref_report {
+        violations.push(Violation {
+            seed: case.seed,
+            check: "backward-differential",
+            detail: format!("optimized {opt_report:?} != sequential {ref_report:?}"),
+        });
+    }
+    checks += 1;
+    if opt_decision != ref_decision {
+        violations.push(Violation {
+            seed: case.seed,
+            check: "decision-differential",
+            detail: format!("optimized {opt_decision:?} != sequential {ref_decision:?}"),
+        });
+    }
+
+    // Algorithm 1: the rearrangement decision must match an independent
+    // recomputation of the paper's rule from the tensor dimensions.
+    if case.technique == Technique::Rearrangement {
+        checks += 1;
+        let spec = spec_algorithm1(case.gemm, &case.config);
+        let hook = rearranged_order(case.gemm, &case.config);
+        if hook != spec || ref_decision.order != spec {
+            violations.push(Violation {
+                seed: case.seed,
+                check: "algorithm1-spec",
+                detail: format!(
+                    "spec {spec:?}, pipeline hook {hook:?}, decision {:?} for {:?} on {} cores",
+                    ref_decision.order, case.gemm, case.config.cores
+                ),
+            });
+        }
+    }
+
+    // Merge legality of the decided order's fused emission.
+    checks += 1;
+    violations.extend(check_merge_emission(case, ref_decision.order));
+
+    // Conservation: rebuild the decided execution, re-run it through the
+    // public machine model, and shadow-replay every schedule.
+    checks += 1;
+    violations.extend(check_decision_conservation(
+        case,
+        &ref_decision,
+        &ref_report,
+    ));
+
+    // Numeric ground truth for small dense single-core unpartitioned
+    // cases (the dense reference is O(M·K·N)).
+    let macs = case.gemm.m() * case.gemm.k() * case.gemm.n();
+    if case.config.cores == 1
+        && ref_decision.partition.is_none()
+        && case.density == 1.0
+        && macs <= 150_000
+    {
+        checks += 1;
+        violations.extend(check_numeric(case, ref_decision.order));
+    }
+
+    (violations, checks)
+}
+
+/// Independent recomputation of Algorithm 1 (§4.3): written directly from
+/// the paper's rule, without going through [`GemmShape::is_almost_square`]
+/// or [`crate::select::select_order`].
+fn spec_algorithm1(gemm: GemmShape, config: &NpuConfig) -> BackwardOrder {
+    // Multi-core decisions are taken on the per-core sub-GEMM of the
+    // conventional batch split: the M extent of the first (largest) piece
+    // of an M split into `cores` parts.
+    let m = if config.cores == 1 {
+        gemm.m()
+    } else {
+        gemm.m().div_ceil(config.cores as u64)
+    };
+    let (k, n) = (gemm.k(), gemm.n());
+    let max = m.max(k).max(n);
+    let min = m.min(k).min(n);
+    if (max as f64) < ALMOST_SQUARE_THRESHOLD * (min as f64) {
+        BackwardOrder::Interleaved
+    } else if k > n && k > m {
+        BackwardOrder::DwMajor
+    } else {
+        BackwardOrder::DxMajor
+    }
+}
+
+/// Emit the unpartitioned fused stream for `order` and verify it is a
+/// legal merge of the `dX` and `dW` tile-op streams.
+fn check_merge_emission(case: &AuditCase, order: BackwardOrder) -> Vec<Violation> {
+    let policy = TilePolicy::for_config(&case.config);
+    let mut proto = Schedule::new("audit");
+    let tensors = LayerTensors::register(&mut proto, "l");
+    let mut s = proto.fork("audit-merge");
+    BackwardBuilder::new(case.gemm, policy, tensors)
+        .with_ifmap_density(case.density)
+        .emit(order, case.is_first, &mut s);
+    check_merge_schedule(
+        &s,
+        tensors,
+        case.gemm,
+        policy,
+        order,
+        case.is_first,
+        case.seed,
+    )
+}
+
+/// Verify that `schedule` is a legal merge of the backward tile-op
+/// streams for `gemm`: every expected `dX[i,kk] += dY[i,j]·Wᵀ` and
+/// `dW[kk,j] += Xᵀ·dY[i,j]` tile operation appears exactly once (no
+/// `dX` ops at all when `is_first`), with mutually consistent operand
+/// coordinates, and nothing else appears.
+pub fn check_merge_schedule(
+    schedule: &Schedule,
+    tensors: LayerTensors,
+    gemm: GemmShape,
+    policy: TilePolicy,
+    order: BackwardOrder,
+    is_first: bool,
+    seed: u64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let fail = |check: &'static str, detail: String| Violation {
+        seed,
+        check,
+        detail,
+    };
+    let dy_grid = gemm.dy_grid(policy.tile);
+    let dx_grid = gemm.dx_grid(policy.tile);
+    let (mt, nt, kt) = (dy_grid.rows(), dy_grid.cols(), dx_grid.cols());
+    // (is_dx, i, kk, j) -> occurrences.
+    let mut counts: HashMap<(bool, u32, u32, u32), u32> = HashMap::new();
+    for op in schedule.ops() {
+        let g = match op {
+            ScheduleOp::Gemm(g) => g,
+            ScheduleOp::Barrier => continue,
+            ScheduleOp::Stream(st) => {
+                violations.push(fail(
+                    "merge-stream-op",
+                    format!("fused emission contains stream op {st:?}"),
+                ));
+                continue;
+            }
+        };
+        let acc = match &g.acc {
+            Some(a) => a,
+            None => {
+                violations.push(fail(
+                    "merge-missing-acc",
+                    "backward tile op has no accumulator".to_owned(),
+                ));
+                continue;
+            }
+        };
+        let find_read = |t| g.reads.iter().find(|r| r.key.tensor == t);
+        if acc.key.tensor == tensors.dx {
+            let (i, kk) = (acc.key.coord.r, acc.key.coord.c);
+            let Some(dy) = find_read(tensors.dy) else {
+                violations.push(fail(
+                    "merge-bad-op",
+                    format!("dX op ({i},{kk}) lacks dY read"),
+                ));
+                continue;
+            };
+            let j = dy.key.coord.c;
+            let w_ok = find_read(tensors.w).is_some_and(|w| w.key.coord == TileCoord::new(kk, j));
+            if dy.key.coord.r != i || !w_ok {
+                violations.push(fail(
+                    "merge-bad-op",
+                    format!("dX op ({i},{kk}) has inconsistent operand coordinates"),
+                ));
+                continue;
+            }
+            *counts.entry((true, i, kk, j)).or_insert(0) += 1;
+        } else if acc.key.tensor == tensors.dw {
+            let (kk, j) = (acc.key.coord.r, acc.key.coord.c);
+            let Some(x) = find_read(tensors.x) else {
+                violations.push(fail(
+                    "merge-bad-op",
+                    format!("dW op ({kk},{j}) lacks X read"),
+                ));
+                continue;
+            };
+            let i = x.key.coord.r;
+            let dy_ok = match find_read(tensors.dy) {
+                Some(dy) => dy.key.coord == TileCoord::new(i, j),
+                // IdealDyReuse elides the dW pass's dY reads by design.
+                None => order == BackwardOrder::IdealDyReuse,
+            };
+            if x.key.coord.c != kk || !dy_ok {
+                violations.push(fail(
+                    "merge-bad-op",
+                    format!("dW op ({kk},{j}) has inconsistent operand coordinates"),
+                ));
+                continue;
+            }
+            *counts.entry((false, i, kk, j)).or_insert(0) += 1;
+        } else {
+            violations.push(fail(
+                "merge-bad-op",
+                format!("accumulator targets unknown tensor {:?}", acc.key.tensor),
+            ));
+        }
+    }
+    let mut expected: u64 = 0;
+    for i in 0..mt {
+        for kk in 0..kt {
+            for j in 0..nt {
+                if !is_first {
+                    expected += 1;
+                    match counts.get(&(true, i, kk, j)).copied().unwrap_or(0) {
+                        1 => {}
+                        c => violations.push(fail(
+                            "merge-multiplicity",
+                            format!("dX op ({i},{kk}) via j={j} appears {c} times, expected 1"),
+                        )),
+                    }
+                }
+                expected += 1;
+                match counts.get(&(false, i, kk, j)).copied().unwrap_or(0) {
+                    1 => {}
+                    c => violations.push(fail(
+                        "merge-multiplicity",
+                        format!("dW op ({kk},{j}) via i={i} appears {c} times, expected 1"),
+                    )),
+                }
+            }
+        }
+    }
+    let total: u64 = counts.values().map(|&c| c as u64).sum();
+    if total != expected {
+        violations.push(fail(
+            "merge-multiplicity",
+            format!("{total} tile ops emitted, expected {expected}"),
+        ));
+    }
+    violations
+}
+
+/// Rebuild the execution the decision describes, re-run it through the
+/// public machine model, compare against the pipeline's report, and
+/// shadow-replay every constituent schedule.
+fn check_decision_conservation(
+    case: &AuditCase,
+    decision: &LayerDecision,
+    report: &SimReport,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let policy = TilePolicy::for_config(&case.config);
+    let mut proto = Schedule::new("audit");
+    let tensors = LayerTensors::register(&mut proto, "l");
+
+    // The schedules the decision implies, plus the combined report the
+    // public execution model assigns to them.
+    let (schedules, rebuilt): (Vec<Schedule>, SimReport) = match decision.partition {
+        None if case.config.cores == 1 => {
+            let mut s = proto.fork("audit-bwd");
+            BackwardBuilder::new(case.gemm, policy, tensors)
+                .with_ifmap_density(case.density)
+                .emit(decision.order, case.is_first, &mut s);
+            let r = Engine::new(&case.config).run(&s);
+            (vec![s], r)
+        }
+        None => {
+            // Conventional multi-core batch parallelism: weight-sharing
+            // split across the cores.
+            let p = partition_backward_ex(
+                &proto,
+                tensors,
+                case.gemm,
+                case.density,
+                policy,
+                PartitionScheme::WeightSharing,
+                case.config.cores as u64,
+                decision.order,
+                case.is_first,
+            );
+            let r = run_multicore(&case.config, &p.schedules, p.reduction).combined();
+            (p.schedules, r)
+        }
+        Some((scheme, parts)) => {
+            let p = partition_backward_ex(
+                &proto,
+                tensors,
+                case.gemm,
+                case.density,
+                policy,
+                scheme,
+                parts,
+                decision.order,
+                case.is_first,
+            );
+            if case.config.cores == 1 {
+                let r =
+                    run_sequential_partitions(&case.config, &p.schedules, p.reduction).combined();
+                // Sequential chaining concatenates the segments into one
+                // stream, so residency crosses segment boundaries; shadow
+                // the same concatenation.
+                let mut combined = p.schedules[0].clone();
+                for s in &p.schedules[1..] {
+                    combined.append_compatible(s);
+                }
+                (vec![combined], r)
+            } else {
+                let r = run_multicore(&case.config, &p.schedules, p.reduction).combined();
+                (p.schedules, r)
+            }
+        }
+    };
+
+    if rebuilt != *report {
+        violations.push(Violation {
+            seed: case.seed,
+            check: "decision-reproduces-report",
+            detail: format!(
+                "rebuilding {decision:?} gives {rebuilt:?}, pipeline reported {report:?}"
+            ),
+        });
+    }
+
+    for s in &schedules {
+        let engine_report = Engine::new(&case.config).run(s);
+        violations.extend(check_report_conservation(
+            s,
+            &case.config,
+            &engine_report,
+            case.seed,
+        ));
+    }
+    violations
+}
+
+/// Shadow-replay `schedule` against an independent [`OptCache`] model and
+/// verify that `report` respects every engine/SPM conservation invariant:
+/// `hits + misses == accesses`, residency never exceeds capacity, every
+/// spilled-accumulator re-fetch is preceded by a write-back of that tile,
+/// per-class traffic matches the shadow replay, and total DRAM traffic
+/// equals the sum of fetched, written-back and streamed bytes.
+///
+/// `report` must come from running `schedule` on one core of `config`
+/// with the default OPT replacement (any violation otherwise is the
+/// point: this is the hook the injected-bug tests corrupt).
+pub fn check_report_conservation(
+    schedule: &Schedule,
+    config: &NpuConfig,
+    report: &SimReport,
+    seed: u64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let engine = Engine::new(config);
+
+    // Flatten the access stream exactly as the engine does: gemm reads
+    // then the optional accumulator touch; barriers occupy one slot so
+    // stream positions line up; stream ops contribute no tile accesses.
+    enum Slot {
+        Barrier,
+        Tile {
+            key: TileKey,
+            bytes: u64,
+            dirty: bool,
+        },
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    for op in schedule.ops() {
+        match op {
+            ScheduleOp::Gemm(g) => {
+                for r in &g.reads {
+                    slots.push(Slot::Tile {
+                        key: r.key,
+                        bytes: r.bytes,
+                        dirty: false,
+                    });
+                }
+                if let Some(a) = &g.acc {
+                    slots.push(Slot::Tile {
+                        key: a.key,
+                        bytes: a.bytes,
+                        dirty: true,
+                    });
+                }
+            }
+            ScheduleOp::Barrier => slots.push(Slot::Barrier),
+            ScheduleOp::Stream(_) => {}
+        }
+    }
+
+    // Independent next-use oracle: backward scan, reuse never crosses a
+    // kernel boundary.
+    let mut next_use = vec![usize::MAX; slots.len()];
+    let mut last_seen: HashMap<TileKey, usize> = HashMap::new();
+    for pos in (0..slots.len()).rev() {
+        match &slots[pos] {
+            Slot::Barrier => last_seen.clear(),
+            Slot::Tile { key, .. } => {
+                if let Some(&later) = last_seen.get(key) {
+                    next_use[pos] = later;
+                }
+                last_seen.insert(*key, pos);
+            }
+        }
+    }
+
+    let mut cache = OptCache::new(engine.residency_bytes());
+    let mut traffic = Traffic::new();
+    let mut moved_bytes = 0u64;
+    let mut accesses = 0u64;
+    let mut written_back: HashSet<TileKey> = HashSet::new();
+    let mut capacity_ok = true;
+    let mut pos = 0usize;
+    for op in schedule.ops() {
+        match op {
+            ScheduleOp::Gemm(g) => {
+                let n_accesses = g.reads.len() + usize::from(g.acc.is_some());
+                for _ in 0..n_accesses {
+                    let (key, bytes, dirty) = match slots[pos] {
+                        Slot::Tile { key, bytes, dirty } => (key, bytes, dirty),
+                        Slot::Barrier => unreachable!("gemm slots are never barriers"),
+                    };
+                    let out = cache.access(key, bytes, dirty, next_use[pos]);
+                    pos += 1;
+                    accesses += 1;
+                    if out.fetched_bytes > 0 {
+                        traffic.add_read(schedule.class_of(key.tensor), out.fetched_bytes);
+                        moved_bytes += out.fetched_bytes;
+                        if dirty && !written_back.contains(&key) {
+                            violations.push(Violation {
+                                seed,
+                                check: "spill-refetch-pairing",
+                                detail: format!(
+                                    "accumulator tile {key:?} re-fetched without a prior write-back"
+                                ),
+                            });
+                        }
+                    }
+                    for &(k, b) in &out.writebacks {
+                        traffic.add_write(schedule.class_of(k.tensor), b);
+                        moved_bytes += b;
+                        written_back.insert(k);
+                    }
+                    if cache.used() > cache.capacity() {
+                        capacity_ok = false;
+                    }
+                }
+            }
+            ScheduleOp::Stream(st) => {
+                if st.read_bytes > 0 {
+                    traffic.add_read(st.class, st.read_bytes);
+                }
+                if st.write_bytes > 0 {
+                    traffic.add_write(st.class, st.write_bytes);
+                }
+                moved_bytes += st.read_bytes + st.write_bytes;
+            }
+            ScheduleOp::Barrier => {
+                pos += 1;
+                for (k, b) in cache.flush() {
+                    traffic.add_write(schedule.class_of(k.tensor), b);
+                    moved_bytes += b;
+                    written_back.insert(k);
+                }
+                cache.clear();
+            }
+        }
+    }
+    for (k, b) in cache.flush() {
+        traffic.add_write(schedule.class_of(k.tensor), b);
+        moved_bytes += b;
+    }
+
+    if !capacity_ok {
+        violations.push(Violation {
+            seed,
+            check: "spm-capacity",
+            detail: format!(
+                "residency exceeded capacity {} on schedule {}",
+                cache.capacity(),
+                schedule.name()
+            ),
+        });
+    }
+    if cache.hits() + cache.misses() != accesses {
+        violations.push(Violation {
+            seed,
+            check: "access-conservation",
+            detail: format!(
+                "shadow hits {} + misses {} != accesses {accesses}",
+                cache.hits(),
+                cache.misses()
+            ),
+        });
+    }
+    if report.spm_accesses() != accesses {
+        violations.push(Violation {
+            seed,
+            check: "access-conservation",
+            detail: format!(
+                "report hits {} + misses {} != schedule accesses {accesses}",
+                report.spm_hits, report.spm_misses
+            ),
+        });
+    }
+    if cache.hits() != report.spm_hits || cache.misses() != report.spm_misses {
+        violations.push(Violation {
+            seed,
+            check: "hit-miss-mismatch",
+            detail: format!(
+                "shadow {}h/{}m, report {}h/{}m",
+                cache.hits(),
+                cache.misses(),
+                report.spm_hits,
+                report.spm_misses
+            ),
+        });
+    }
+    if traffic != report.traffic {
+        violations.push(Violation {
+            seed,
+            check: "traffic-mismatch",
+            detail: format!("shadow traffic [{traffic}], report [{}]", report.traffic),
+        });
+    }
+    if moved_bytes != report.traffic.total() {
+        violations.push(Violation {
+            seed,
+            check: "traffic-total",
+            detail: format!(
+                "fetched+writeback+stream bytes {moved_bytes} != reported total {}",
+                report.traffic.total()
+            ),
+        });
+    }
+    violations
+}
+
+/// Execute the decided schedule on real tile data and compare the
+/// gradients against the dense `dX = dY·Wᵀ`, `dW = Xᵀ·dY` references.
+fn check_numeric(case: &AuditCase, order: BackwardOrder) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let policy = TilePolicy::for_config(&case.config);
+    let mut proto = Schedule::new("audit");
+    let tensors = LayerTensors::register(&mut proto, "l");
+    let mut s = proto.fork("audit-exec");
+    BackwardBuilder::new(case.gemm, policy, tensors).emit(order, case.is_first, &mut s);
+    let layer = DenseLayer::random(case.gemm, case.seed);
+    let got = execute_backward(&s, tensors, &layer, policy);
+    let tolerance = 1e-3 * case.gemm.max_dim() as f32;
+    let dw_err = max_abs_diff(&got.dw, &layer.reference_dw());
+    if dw_err > tolerance {
+        violations.push(Violation {
+            seed: case.seed,
+            check: "numeric-dw",
+            detail: format!("dW max abs diff {dw_err} exceeds {tolerance}"),
+        });
+    }
+    if !case.is_first {
+        let dx_err = max_abs_diff(&got.dx, &layer.reference_dx());
+        if dx_err > tolerance {
+            violations.push(Violation {
+                seed: case.seed,
+                check: "numeric-dx",
+                detail: format!("dX max abs diff {dx_err} exceeds {tolerance}"),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igo_npu_sim::TileOp;
+    use igo_tensor::TensorClass;
+
+    #[test]
+    fn case_generation_is_deterministic() {
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+            let a = AuditCase::from_seed(seed);
+            let b = AuditCase::from_seed(seed);
+            assert_eq!(a.gemm, b.gemm);
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.technique, b.technique);
+            assert_eq!(a.options, b.options);
+            assert_eq!(a.is_first, b.is_first);
+            assert_eq!(a.density, b.density);
+        }
+    }
+
+    #[test]
+    fn fixed_seed_audit_passes() {
+        let summary = run_audit(16, 1);
+        assert_eq!(summary.cases, 16);
+        assert!(summary.checks >= 5 * 16);
+        assert!(summary.passed(), "audit violations: {}", summary.to_json());
+    }
+
+    fn sample_schedule() -> (Schedule, NpuConfig) {
+        let config = NpuConfig::small_edge();
+        let policy = TilePolicy::for_config(&config);
+        let mut proto = Schedule::new("t");
+        let tensors = LayerTensors::register(&mut proto, "l");
+        let mut s = proto.fork("bwd");
+        BackwardBuilder::new(GemmShape::new(90, 90, 90), policy, tensors).emit(
+            BackwardOrder::Interleaved,
+            false,
+            &mut s,
+        );
+        (s, config)
+    }
+
+    #[test]
+    fn clean_report_passes_conservation() {
+        let (s, config) = sample_schedule();
+        let report = Engine::new(&config).run(&s);
+        assert!(check_report_conservation(&s, &config, &report, 0).is_empty());
+    }
+
+    #[test]
+    fn injected_hit_count_bug_is_caught() {
+        let (s, config) = sample_schedule();
+        let mut report = Engine::new(&config).run(&s);
+        // Deliberately corrupt the accounting: one hit reported as a miss.
+        report.spm_hits -= 1;
+        report.spm_misses += 1;
+        let violations = check_report_conservation(&s, &config, &report, 0);
+        assert!(
+            violations.iter().any(|v| v.check == "hit-miss-mismatch"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn injected_traffic_bug_is_caught() {
+        let (s, config) = sample_schedule();
+        let mut report = Engine::new(&config).run(&s);
+        // Deliberately drop a write-back from the traffic accounting.
+        let mut bad = Traffic::new();
+        bad.add_read(TensorClass::OutGrad, report.traffic.read_total());
+        report.traffic = bad;
+        let violations = check_report_conservation(&s, &config, &report, 0);
+        assert!(
+            violations.iter().any(|v| v.check == "traffic-mismatch"),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.check == "traffic-total"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn injected_dropped_access_bug_is_caught() {
+        let (s, config) = sample_schedule();
+        let mut report = Engine::new(&config).run(&s);
+        report.spm_misses -= 1;
+        let violations = check_report_conservation(&s, &config, &report, 0);
+        assert!(
+            violations.iter().any(|v| v.check == "access-conservation"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn duplicated_tile_op_fails_merge_check() {
+        let config = NpuConfig::small_edge();
+        let policy = TilePolicy::for_config(&config);
+        let gemm = GemmShape::new(90, 90, 90);
+        let mut proto = Schedule::new("t");
+        let tensors = LayerTensors::register(&mut proto, "l");
+        let mut s = proto.fork("bwd");
+        BackwardBuilder::new(gemm, policy, tensors).emit(BackwardOrder::DxMajor, false, &mut s);
+        assert!(
+            check_merge_schedule(&s, tensors, gemm, policy, BackwardOrder::DxMajor, false, 0)
+                .is_empty()
+        );
+        // Re-emit the first gemm op: the stream is no longer a legal merge.
+        let dup: TileOp = s
+            .ops()
+            .iter()
+            .find_map(|op| match op {
+                ScheduleOp::Gemm(g) => Some(g.clone()),
+                _ => None,
+            })
+            .expect("emission has gemm ops");
+        s.push_gemm(dup);
+        let violations =
+            check_merge_schedule(&s, tensors, gemm, policy, BackwardOrder::DxMajor, false, 0);
+        assert!(
+            violations.iter().any(|v| v.check == "merge-multiplicity"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn algorithm1_spec_matches_pipeline_hook() {
+        let configs = [
+            NpuConfig::small_edge(),
+            NpuConfig::large_single_core(),
+            NpuConfig::large_server(4),
+        ];
+        let mut rng = SplitMix64::new(0xA1);
+        for _ in 0..200 {
+            let gemm = GemmShape::new(
+                rng.range_u64(1, 2048),
+                rng.range_u64(1, 2048),
+                rng.range_u64(1, 2048),
+            );
+            for config in &configs {
+                assert_eq!(
+                    spec_algorithm1(gemm, config),
+                    rearranged_order(gemm, config),
+                    "{gemm:?} on {}",
+                    config.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_json_reports_failures() {
+        let clean = run_audit(2, 1);
+        let json = clean.to_json();
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.contains("\"cases\": 2"));
+
+        let dirty = AuditSummary {
+            cases: 1,
+            checks: 1,
+            violations: vec![Violation {
+                seed: 42,
+                check: "traffic-mismatch",
+                detail: "say \"hi\"\nnewline".to_owned(),
+            }],
+        };
+        let json = dirty.to_json();
+        assert!(json.contains("\"passed\": false"));
+        assert!(json.contains("\"reproducer_seeds\": [42]"));
+        assert!(json.contains("say \\\"hi\\\"\\nnewline"));
+        assert_eq!(dirty.reproducer_seeds(), vec![42]);
+    }
+}

@@ -32,6 +32,7 @@
 //! assert!(ours.total_cycles() <= base.total_cycles());
 //! ```
 
+pub mod audit;
 pub mod exec;
 pub mod parallel;
 pub mod partition;
@@ -44,14 +45,20 @@ pub mod simcache;
 pub mod technique;
 pub mod tiling;
 
+pub use audit::{
+    audit_case, check_merge_schedule, check_report_conservation, run_audit, AuditCase,
+    AuditSummary, Violation,
+};
 pub use exec::{execute_backward, execute_partitioned, DenseLayer, ExecutedGradients};
 pub use parallel::{parallel_map, parallel_map_with, parallel_map_workers};
 pub use partition::PartitionScheme;
 pub use pipeline::{
-    simulate_layer_backward, simulate_layer_backward_ex, simulate_layer_backward_with,
-    simulate_layer_forward, simulate_layer_forward_ex, simulate_layer_forward_with, simulate_model,
-    simulate_model_with, LayerDecision, LayerOutcome, ModelReport, SimOptions, TrainingPhase,
+    rearranged_order, simulate_layer_backward, simulate_layer_backward_ex,
+    simulate_layer_backward_with, simulate_layer_forward, simulate_layer_forward_ex,
+    simulate_layer_forward_with, simulate_model, simulate_model_with, LayerDecision, LayerOutcome,
+    ModelReport, SimOptions, TrainingPhase,
 };
+pub use report_io::{ladder_csv, layers_csv, LadderMismatch};
 pub use schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
 pub use select::select_order;
 pub use simcache::{sim_cache_len, sim_cache_stats, CacheStats, ConfigFingerprint};

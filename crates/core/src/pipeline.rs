@@ -103,6 +103,24 @@ impl Default for SimOptions {
     }
 }
 
+/// The backward emission order the pipeline derives from Algorithm 1 for a
+/// layer with forward shape `gemm` on `config` — the `Rearrangement`
+/// decision. On a multi-core NPU the decision is taken on the per-core
+/// sub-GEMM of the conventional batch (M-dimension) split, because that is
+/// the shape each core actually executes.
+///
+/// Exposed so external checkers (the [`crate::audit`] differential fuzzer)
+/// can compare the pipeline's decision against an independent recomputation
+/// of the paper's Algorithm 1 from the tensor dimensions.
+pub fn rearranged_order(gemm: GemmShape, config: &NpuConfig) -> BackwardOrder {
+    let decide = |g: GemmShape| BackwardOrder::from(select_order(g));
+    if config.cores == 1 {
+        decide(gemm)
+    } else {
+        decide(gemm.split(igo_tensor::GemmDim::M, config.cores as u64)[0])
+    }
+}
+
 /// The per-partition count used by single-core data partitioning
 /// candidates (§5: partitions are "processed one partition at a time on a
 /// single-core NPU").
@@ -379,11 +397,6 @@ fn backward_uncached(
         }
     };
 
-    // Order used on a sub-GEMM after an M-split across cores.
-    let cores = config.cores as u64;
-    let multicore_sub_gemm = || gemm.split(igo_tensor::GemmDim::M, cores)[0];
-    let algorithm1 = |g: GemmShape| BackwardOrder::from(select_order(g));
-
     match technique {
         Technique::Baseline => {
             let c = plain_candidate(BackwardOrder::Baseline);
@@ -401,12 +414,7 @@ fn backward_uncached(
             (r, c.decision)
         }
         Technique::Rearrangement => {
-            let order = if config.cores == 1 {
-                algorithm1(gemm)
-            } else {
-                algorithm1(multicore_sub_gemm())
-            };
-            let c = plain_candidate(order);
+            let c = plain_candidate(rearranged_order(gemm, config));
             let r = c.run(config, &mut EngineScratch::new());
             (r, c.decision)
         }

@@ -2,11 +2,25 @@
 //!
 //! Figure-style analyses usually end in a plotting tool; these writers
 //! serialise a [`ModelReport`] (or a technique-ladder comparison) into
-//! machine-readable CSV without adding any dependencies.
+//! machine-readable CSV without adding any dependencies. Free-form fields
+//! (layer names, model names, partition labels) are RFC-4180-quoted, so a
+//! name containing a comma, quote or newline cannot shift columns.
 
 use crate::pipeline::ModelReport;
 use igo_tensor::TensorClass;
+use std::borrow::Cow;
 use std::fmt::Write as _;
+
+/// RFC-4180 field quoting: a field containing a comma, double quote or
+/// newline is wrapped in double quotes with embedded quotes doubled; any
+/// other field passes through unchanged.
+fn csv_field(raw: &str) -> Cow<'_, str> {
+    if raw.contains([',', '"', '\n', '\r']) {
+        Cow::Owned(format!("\"{}\"", raw.replace('"', "\"\"")))
+    } else {
+        Cow::Borrowed(raw)
+    }
+}
 
 /// Per-layer CSV of one report: one row per distinct layer with cycles
 /// and per-class backward traffic.
@@ -29,12 +43,12 @@ pub fn layers_csv(report: &ModelReport) -> String {
         let _ = write!(
             out,
             "{},{},{},{},{:?},{}",
-            layer.name,
+            csv_field(&layer.name),
             layer.multiplicity,
             layer.forward.cycles,
             layer.backward.cycles,
             layer.decision.order,
-            partition
+            csv_field(&partition)
         );
         for class in TensorClass::ALL {
             let _ = write!(
@@ -49,27 +63,69 @@ pub fn layers_csv(report: &ModelReport) -> String {
     out
 }
 
+/// Error from [`ladder_csv`]: a row's variant list disagrees with the
+/// header derived from the first row, which would silently shift columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderMismatch {
+    /// Model name of the offending row.
+    pub model: String,
+    /// Technique labels the header (first row) declares.
+    pub expected: Vec<String>,
+    /// Technique labels the offending row actually carries.
+    pub found: Vec<String>,
+}
+
+impl core::fmt::Display for LadderMismatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "ladder row for {} has variants {:?}, header expects {:?}",
+            self.model, self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for LadderMismatch {}
+
 /// Ladder CSV: one row per model with the normalised time of each
 /// non-baseline report against the first (baseline) report.
 ///
-/// `reports` groups runs per model: `(baseline, variants)`.
-pub fn ladder_csv(rows: &[(&ModelReport, Vec<&ModelReport>)]) -> String {
+/// `reports` groups runs per model: `(baseline, variants)`. Every row must
+/// carry the same technique ladder as the first row (the header source);
+/// a mismatching row returns [`LadderMismatch`] instead of silently
+/// writing misaligned columns.
+pub fn ladder_csv(rows: &[(&ModelReport, Vec<&ModelReport>)]) -> Result<String, LadderMismatch> {
     let mut out = String::new();
     out.push_str("model,config");
-    if let Some((_, variants)) = rows.first() {
-        for v in variants {
-            let _ = write!(out, ",{}", v.technique.label());
-        }
+    let header: Vec<&str> = match rows.first() {
+        Some((_, variants)) => variants.iter().map(|v| v.technique.label()).collect(),
+        None => Vec::new(),
+    };
+    for label in &header {
+        let _ = write!(out, ",{}", csv_field(label));
     }
     out.push('\n');
     for (base, variants) in rows {
-        let _ = write!(out, "{},{}", base.model, base.config);
+        let found: Vec<&str> = variants.iter().map(|v| v.technique.label()).collect();
+        if found != header {
+            return Err(LadderMismatch {
+                model: base.model.clone(),
+                expected: header.iter().map(|s| s.to_string()).collect(),
+                found: found.iter().map(|s| s.to_string()).collect(),
+            });
+        }
+        let _ = write!(
+            out,
+            "{},{}",
+            csv_field(&base.model),
+            csv_field(&base.config)
+        );
         for v in variants {
             let _ = write!(out, ",{:.6}", v.normalized_to(base));
         }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -87,6 +143,44 @@ mod tests {
             simulate_model(&model, &config, Technique::Baseline),
             simulate_model(&model, &config, Technique::Rearrangement),
         )
+    }
+
+    /// Minimal RFC-4180 parser for round-trip checks: splits one CSV text
+    /// into records of unescaped fields.
+    fn parse_csv(text: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row: Vec<String> = Vec::new();
+        let mut field = String::new();
+        let mut quoted = false;
+        let mut chars = text.chars().peekable();
+        while let Some(c) = chars.next() {
+            if quoted {
+                match c {
+                    '"' if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        field.push('"');
+                    }
+                    '"' => quoted = false,
+                    _ => field.push(c),
+                }
+            } else {
+                match c {
+                    '"' => quoted = true,
+                    ',' => row.push(std::mem::take(&mut field)),
+                    '\n' => {
+                        row.push(std::mem::take(&mut field));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    '\r' => {}
+                    _ => field.push(c),
+                }
+            }
+        }
+        if !field.is_empty() || !row.is_empty() {
+            row.push(field);
+            rows.push(row);
+        }
+        rows
     }
 
     #[test]
@@ -107,11 +201,57 @@ mod tests {
     #[test]
     fn ladder_csv_normalises_against_baseline() {
         let (base, rearr) = reports();
-        let csv = ladder_csv(&[(&base, vec![&rearr])]);
+        let csv = ladder_csv(&[(&base, vec![&rearr])]).expect("uniform ladder");
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].ends_with("+Rearrangement"));
         let value: f64 = lines[1].split(',').nth(2).unwrap().parse().unwrap();
         assert!((0.1..2.0).contains(&value));
+    }
+
+    #[test]
+    fn ladder_csv_rejects_mismatched_variant_sets() {
+        let (base, rearr) = reports();
+        let rows: Vec<(&ModelReport, Vec<&ModelReport>)> =
+            vec![(&base, vec![&rearr]), (&base, vec![])];
+        let err = ladder_csv(&rows).expect_err("row 2 drops the variant");
+        assert_eq!(err.expected, vec!["+Rearrangement".to_string()]);
+        assert!(err.found.is_empty());
+        assert!(err.to_string().contains("header expects"));
+    }
+
+    #[test]
+    fn layers_csv_quotes_hostile_names_round_trip() {
+        let (mut base, _) = reports();
+        let hostile = [
+            "conv1,expansion",
+            "say \"hi\"",
+            "multi\nline",
+            "comma, \"and\" quote",
+        ];
+        for (layer, name) in base.layers.iter_mut().zip(hostile) {
+            layer.name = name.to_string();
+        }
+        let csv = layers_csv(&base);
+        let rows = parse_csv(&csv);
+        let header_fields = rows[0].len();
+        assert_eq!(rows.len(), base.layers.len() + 1);
+        for (row, layer) in rows[1..].iter().zip(&base.layers) {
+            assert_eq!(row.len(), header_fields, "{row:?}");
+            assert_eq!(row[0], layer.name, "name must survive the round trip");
+            assert_eq!(row[1], layer.multiplicity.to_string());
+        }
+    }
+
+    #[test]
+    fn ladder_csv_quotes_hostile_model_names_round_trip() {
+        let (mut base, rearr) = reports();
+        base.model = "ncf, batch=8".to_string();
+        base.config = "server \"1-core\"".to_string();
+        let csv = ladder_csv(&[(&base, vec![&rearr])]).expect("uniform ladder");
+        let rows = parse_csv(&csv);
+        assert_eq!(rows[1][0], base.model);
+        assert_eq!(rows[1][1], base.config);
+        assert_eq!(rows[1].len(), rows[0].len());
     }
 }

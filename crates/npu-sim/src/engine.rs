@@ -153,6 +153,22 @@ impl Engine {
         self.residency_bytes
     }
 
+    /// DRAM bandwidth in bytes per cycle (per core). Exposed so external
+    /// checkers can recompute memory-timeline costs independently.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// Per-burst DRAM latency in cycles.
+    pub fn burst_latency(&self) -> u64 {
+        self.burst_latency
+    }
+
+    /// The residency replacement policy in use.
+    pub fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
     /// Run `schedule` on a cold SPM and report. Convenience wrapper that
     /// allocates a fresh [`EngineScratch`]; hot loops should hold one
     /// scratch and call [`Engine::run_with_scratch`].

@@ -102,16 +102,41 @@ impl OptCache {
         next_use: NextUse,
     ) -> AccessOutcome {
         if let Some(entry) = self.entries.get_mut(&key) {
-            debug_assert_eq!(entry.bytes, bytes, "tile {key:?} size changed");
+            // Follow tile resizes in all build profiles (see
+            // `SpmCache::touch`): stale bytes would corrupt `used`.
             let old = (entry.next_use, key);
+            let old_bytes = entry.bytes;
+            entry.bytes = bytes;
             entry.next_use = next_use;
             entry.dirty |= dirty;
             self.order.remove(&old);
             self.order.insert((next_use, key));
             self.hits += 1;
+            self.used = self.used - old_bytes + bytes;
+            let mut writebacks = Vec::new();
+            while self.used > self.capacity {
+                // The tile grew past what fits: evict furthest-future
+                // residents (possibly the touched tile itself) until the
+                // residency is legal again.
+                let &(victim_next, victim_key) = self
+                    .order
+                    .iter()
+                    .next_back()
+                    .expect("used > 0 implies a resident victim");
+                self.order.remove(&(victim_next, victim_key));
+                let victim = self
+                    .entries
+                    .remove(&victim_key)
+                    .expect("order/entry maps out of sync");
+                self.used -= victim.bytes;
+                if victim.dirty {
+                    writebacks.push((victim_key, victim.bytes));
+                    self.spilled.insert(victim_key);
+                }
+            }
             return AccessOutcome {
                 fetched_bytes: 0,
-                writebacks: Vec::new(),
+                writebacks,
                 hit: true,
             };
         }
@@ -258,6 +283,16 @@ impl DenseOptCache {
         self.misses
     }
 
+    /// Residency capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
     /// Access tile `id` (interned from `key`). Semantics are identical to
     /// [`OptCache::access`]; dirty victims are appended to `writebacks` as
     /// `(victim_id, bytes)`.
@@ -272,13 +307,36 @@ impl DenseOptCache {
     ) -> u64 {
         let slot = &mut self.slots[id as usize];
         if slot.resident {
-            debug_assert_eq!(slot.bytes, bytes, "tile {key:?} size changed");
+            // Follow tile resizes in all build profiles (see
+            // `SpmCache::touch`): stale bytes would corrupt `used`.
             let old = (slot.next_use, key, id);
+            let old_bytes = slot.bytes;
+            slot.bytes = bytes;
             slot.next_use = next_use;
             slot.dirty |= dirty;
             self.order.remove(&old);
             self.order.insert((next_use, key, id));
             self.hits += 1;
+            self.used = self.used - old_bytes + bytes;
+            while self.used > self.capacity {
+                // The tile grew past what fits: evict furthest-future
+                // residents (possibly the touched tile itself) until the
+                // residency is legal again.
+                let &(victim_next, victim_key, victim_id) = self
+                    .order
+                    .iter()
+                    .next_back()
+                    .expect("used > 0 implies a resident victim");
+                self.order.remove(&(victim_next, victim_key, victim_id));
+                let victim = &mut self.slots[victim_id as usize];
+                debug_assert!(victim.resident, "order/slot state out of sync");
+                victim.resident = false;
+                self.used -= victim.bytes;
+                if victim.dirty {
+                    writebacks.push((victim_id, victim.bytes));
+                    victim.spilled = true;
+                }
+            }
             return 0;
         }
 

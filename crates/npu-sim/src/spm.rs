@@ -126,20 +126,34 @@ impl SpmCache {
 
     fn touch(&mut self, key: TileKey, bytes: u64, dirty: bool) -> AccessOutcome {
         if let Some(entry) = self.entries.get_mut(&key) {
-            debug_assert_eq!(
-                entry.bytes, bytes,
-                "tile {key:?} size changed between touches"
-            );
+            // A tile may legitimately change size between touches (e.g. a
+            // ragged-edge tile revisited by a chained partition segment).
+            // The residency accounting must follow the resize in *all*
+            // build profiles — a stale `entry.bytes` would silently corrupt
+            // `used` (and with it every eviction decision downstream).
+            let old_bytes = entry.bytes;
             let old_tick = entry.tick;
+            entry.bytes = bytes;
             self.tick += 1;
             entry.tick = self.tick;
             entry.dirty |= dirty;
             self.lru.remove(&old_tick);
             self.lru.insert(self.tick, key);
             self.hits += 1;
+            self.used = self.used - old_bytes + bytes;
+            // If the tile grew past what fits, evict LRU victims until the
+            // residency is legal again. The freshly touched entry carries
+            // the newest tick, so it is only evicted if it alone no longer
+            // fits — in which case it falls back to streaming like any
+            // oversized tile.
+            let writebacks = if self.used > self.capacity {
+                self.make_room(0)
+            } else {
+                Vec::new()
+            };
             return AccessOutcome {
                 fetched_bytes: 0,
-                writebacks: Vec::new(),
+                writebacks,
                 hit: true,
             };
         }
@@ -375,5 +389,197 @@ mod tests {
         let out = spm.read(key(0, 0, 0), 900);
         assert_eq!(out.writeback_bytes(), 800);
         assert_eq!(out.writebacks.len(), 2);
+    }
+
+    #[test]
+    fn resize_keeps_residency_accounting_exact() {
+        // Regression for the tile-resize hazard: a resident tile re-touched
+        // with a different size must adjust `used` in every build profile.
+        let mut spm = SpmCache::new(1000);
+        let k = key(0, 0, 0);
+        spm.read(k, 400);
+        assert_eq!(spm.used(), 400);
+        // Shrink: frees space.
+        let shrink = spm.read(k, 100);
+        assert!(shrink.hit);
+        assert_eq!(spm.used(), 100);
+        // Grow within capacity.
+        spm.read(key(0, 0, 1), 500);
+        let grow = spm.read(k, 300);
+        assert!(grow.hit);
+        assert_eq!(spm.used(), 800);
+        // Grow past capacity: the *other* (older) tile is evicted.
+        let burst = spm.read(k, 900);
+        assert!(burst.hit);
+        assert!(!spm.contains(&key(0, 0, 1)));
+        assert_eq!(spm.used(), 900);
+        assert!(spm.used() <= spm.capacity());
+        // Grow past the whole capacity: the tile itself falls out too.
+        let dirty_grow = spm.accumulate(k, 1200);
+        assert!(dirty_grow.hit);
+        assert_eq!(dirty_grow.writebacks, vec![(k, 1200)]);
+        assert_eq!(spm.used(), 0);
+        assert!(!spm.contains(&k));
+        // ... and is treated as spilled on the next touch.
+        assert_eq!(spm.accumulate(k, 100).fetched_bytes, 100);
+    }
+
+    /// Executable reference model: a plain `Vec`-backed LRU with the same
+    /// stated semantics (front = least recent; resize follows the touch;
+    /// oversized tiles stream; dirty evictions write back and mark the
+    /// tile spilled).
+    struct RefLru {
+        capacity: u64,
+        entries: Vec<(TileKey, u64, bool)>,
+        spilled: std::collections::HashSet<TileKey>,
+        hits: u64,
+        misses: u64,
+    }
+
+    impl RefLru {
+        fn new(capacity: u64) -> Self {
+            Self {
+                capacity,
+                entries: Vec::new(),
+                spilled: std::collections::HashSet::new(),
+                hits: 0,
+                misses: 0,
+            }
+        }
+
+        fn used(&self) -> u64 {
+            self.entries.iter().map(|(_, b, _)| b).sum()
+        }
+
+        fn evict_while_over(&mut self, incoming: u64) -> Vec<(TileKey, u64)> {
+            let mut writebacks = Vec::new();
+            while self.used() + incoming > self.capacity {
+                let (k, b, dirty) = self.entries.remove(0);
+                if dirty {
+                    writebacks.push((k, b));
+                    self.spilled.insert(k);
+                }
+            }
+            writebacks
+        }
+
+        fn touch(&mut self, key: TileKey, bytes: u64, dirty: bool) -> AccessOutcome {
+            if let Some(i) = self.entries.iter().position(|(k, _, _)| *k == key) {
+                let (k, _, was_dirty) = self.entries.remove(i);
+                self.entries.push((k, bytes, was_dirty || dirty));
+                self.hits += 1;
+                let writebacks = self.evict_while_over(0);
+                return AccessOutcome {
+                    fetched_bytes: 0,
+                    writebacks,
+                    hit: true,
+                };
+            }
+            self.misses += 1;
+            let fetched = if dirty && !self.spilled.contains(&key) {
+                0
+            } else {
+                bytes
+            };
+            if bytes > self.capacity {
+                let writebacks = if dirty {
+                    self.spilled.insert(key);
+                    vec![(key, bytes)]
+                } else {
+                    Vec::new()
+                };
+                return AccessOutcome {
+                    fetched_bytes: fetched,
+                    writebacks,
+                    hit: false,
+                };
+            }
+            let writebacks = self.evict_while_over(bytes);
+            self.entries.push((key, bytes, dirty));
+            AccessOutcome {
+                fetched_bytes: fetched,
+                writebacks,
+                hit: false,
+            }
+        }
+
+        fn flush(&mut self) -> Vec<(TileKey, u64)> {
+            let mut writebacks = Vec::new();
+            for (k, b, dirty) in self.entries.iter_mut() {
+                if *dirty {
+                    writebacks.push((*k, *b));
+                    *dirty = false;
+                    self.spilled.insert(*k);
+                }
+            }
+            writebacks
+        }
+
+        fn clear(&mut self) {
+            self.entries.clear();
+            self.spilled.clear();
+        }
+    }
+
+    /// Property test: on seeded random access streams — mixed reads and
+    /// accumulates over a small tile pool with varying (and occasionally
+    /// oversized) tile sizes, interleaved with flushes and clears — the
+    /// cache must agree access-by-access with the reference model, never
+    /// exceed capacity, and only ever re-fetch a dirty tile after a
+    /// write-back of that same tile.
+    #[test]
+    fn seeded_streams_match_reference_model() {
+        let mut rng = igo_tensor::SplitMix64::new(0x5EED_CAFE);
+        for round in 0..64 {
+            let capacity = rng.range_u64(3, 12) * 100;
+            let mut spm = SpmCache::new(capacity);
+            let mut reference = RefLru::new(capacity);
+            let mut written_back: std::collections::HashSet<TileKey> =
+                std::collections::HashSet::new();
+            let ops = rng.range_u64(50, 400);
+            for _ in 0..ops {
+                match rng.range_u64(0, 20) {
+                    0 => {
+                        let mut got = spm.flush();
+                        let mut want = reference.flush();
+                        got.sort_unstable_by_key(|(k, _)| *k);
+                        want.sort_unstable_by_key(|(k, _)| *k);
+                        assert_eq!(got, want, "flush diverged in round {round}");
+                        for (k, _) in &got {
+                            written_back.insert(*k);
+                        }
+                    }
+                    1 => {
+                        spm.clear();
+                        reference.clear();
+                        // Spill history is gone: dirty re-touches are fresh
+                        // allocations again, so the pairing set resets too.
+                        written_back.clear();
+                    }
+                    _ => {
+                        let k = key(rng.range_u64(0, 3) as u32, 0, rng.range_u64(0, 5) as u32);
+                        let bytes = rng.range_u64(1, 15) * 100;
+                        let dirty = rng.range_u64(0, 2) == 1;
+                        let got = spm.touch(k, bytes, dirty);
+                        let want = reference.touch(k, bytes, dirty);
+                        assert_eq!(got, want, "access diverged in round {round}");
+                        if dirty && got.fetched_bytes > 0 {
+                            assert!(
+                                written_back.contains(&k),
+                                "dirty re-fetch of {k:?} without prior write-back"
+                            );
+                        }
+                        for (victim, _) in &got.writebacks {
+                            written_back.insert(*victim);
+                        }
+                    }
+                }
+                assert!(spm.used() <= spm.capacity(), "round {round}");
+                assert_eq!(spm.used(), reference.used(), "round {round}");
+                assert_eq!(spm.resident_tiles(), reference.entries.len());
+                assert_eq!(spm.hits(), reference.hits);
+                assert_eq!(spm.misses(), reference.misses);
+            }
+        }
     }
 }

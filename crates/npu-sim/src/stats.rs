@@ -176,6 +176,13 @@ impl SimReport {
         }
     }
 
+    /// Total SPM tile accesses (hits plus misses). Conservation invariant:
+    /// this must equal the number of tile accesses in the schedule's
+    /// flattened access stream.
+    pub fn spm_accesses(&self) -> u64 {
+        self.spm_hits + self.spm_misses
+    }
+
     /// SPM hit rate over all tile accesses; 0 when no accesses occurred.
     pub fn hit_rate(&self) -> f64 {
         let total = self.spm_hits + self.spm_misses;

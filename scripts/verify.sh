@@ -21,4 +21,7 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== fixed-seed differential fuzz-audit =="
+./target/release/igo-sim audit --seeds 200
+
 echo "verify: all checks passed"
