@@ -7,12 +7,19 @@
 //! igo-sim sweep   <model>                     bandwidth sweep on the large NPU
 //! igo-sim perf    [edge|server|all]           pipeline self-measurement
 //! igo-sim audit   [--seeds N] [--seed S]      differential fuzz-audit
+//! igo-sim trace   <model|MxKxN> <config> [--out DIR] [--technique T]
 //! ```
 //!
 //! `<config>` is `edge`, `server`, or `serverxN` (N cores, 1..=8).
 //! `<model>` is a Table-4 abbreviation (`res`, `goo`, `mob`, `rcnn`, `ncf`,
 //! `dlrm`, `yolo`, `yolo-tiny`, `bert`, `bert-tiny`, `t5`, `t5-small`) or a
 //! full model name (`resnet50`, `bert-large`, ...).
+//!
+//! `trace` re-runs the decided backward schedules with the cycle-level
+//! recorder attached and writes `trace.json` (Chrome trace-event JSON,
+//! loadable in Perfetto), `metrics.csv`, `dy_reuse.csv` and
+//! `dy_tiles.csv` into `--out` (default `igo-trace`); see
+//! `docs/observability.md`.
 //!
 //! `audit` fuzzes the scheduling pipeline against the sequential reference
 //! path and the engine's conservation invariants, printing a JSON summary;
@@ -26,7 +33,8 @@
 use igo_bench::wallclock::{measure, Timing};
 use igo_core::{
     run_audit, select_order, sim_cache_stats, simulate_layer_backward, simulate_model,
-    simulate_model_with, BackwardOrder, ModelReport, SimOptions, Technique,
+    simulate_model_with, BackwardOrder, ModelReport, SimOptions, Technique, TraceExport,
+    DEFAULT_REUSE_POINTS,
 };
 use igo_npu_sim::{engine_run_count, NpuConfig};
 use igo_tensor::GemmShape;
@@ -39,7 +47,7 @@ use parse::{parse_config, parse_model};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  igo-sim [--timing] models\n  igo-sim [--timing] ladder <model> <edge|server|serverxN>\n  igo-sim [--timing] layer <M> <K> <N> <edge|server>\n  igo-sim [--timing] sweep <model>\n  igo-sim [--timing] perf [edge|server|all]\n  igo-sim [--timing] audit [--seeds N] [--seed S]"
+        "usage:\n  igo-sim [--timing] models\n  igo-sim [--timing] ladder <model> <edge|server|serverxN>\n  igo-sim [--timing] layer <M> <K> <N> <edge|server>\n  igo-sim [--timing] sweep <model>\n  igo-sim [--timing] perf [edge|server|all]\n  igo-sim [--timing] audit [--seeds N] [--seed S]\n  igo-sim [--timing] trace <model|MxKxN> <edge|server|serverxN> [--out DIR] [--technique T]"
     );
     ExitCode::from(2)
 }
@@ -52,12 +60,15 @@ fn main() -> ExitCode {
     let runs_before = engine_run_count();
     let cache_before = sim_cache_stats();
     let (code, wall) = measure(|| {
-        // `audit` parses its own `--seeds`/`--seed` flags; every other
-        // command takes no flags beyond the already-consumed `--timing`,
-        // so any remaining `--` argument is an explicit error instead of
+        // `audit` and `trace` parse their own flags; every other command
+        // takes no flags beyond the already-consumed `--timing`, so any
+        // remaining `--` argument is an explicit error instead of
         // silently becoming a positional argument.
         if args.first().map(String::as_str) == Some("audit") {
             return cmd_audit(&args[1..]);
+        }
+        if args.first().map(String::as_str) == Some("trace") {
+            return cmd_trace(&args[1..]);
         }
         if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
             eprintln!("unknown flag '{flag}'");
@@ -68,7 +79,11 @@ fn main() -> ExitCode {
             Some("ladder") if args.len() == 3 => cmd_ladder(&args[1], &args[2]),
             Some("layer") if args.len() == 5 => cmd_layer(&args[1..]),
             Some("sweep") if args.len() == 2 => cmd_sweep(&args[1]),
-            Some("perf") if args.len() <= 2 => {
+            Some("perf") => {
+                if args.len() > 2 {
+                    eprintln!("perf takes at most one target (edge|server|all)");
+                    return usage();
+                }
                 cmd_perf(args.get(1).map(String::as_str).unwrap_or("all"))
             }
             _ => usage(),
@@ -129,6 +144,119 @@ fn cmd_audit(args: &[String]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Cycle-level trace of a model's (or one ad-hoc layer's) backward pass:
+/// re-runs the decided schedules with the event recorder attached and
+/// writes the Chrome trace JSON plus the three metrics CSVs to `--out`.
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let mut out_dir = String::from("igo-trace");
+    let mut technique = Technique::Rearrangement;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(dir) => out_dir = dir.clone(),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return usage();
+                }
+            },
+            "--technique" => match it.next().and_then(|v| parse::parse_technique(v)) {
+                Some(t) => technique = t,
+                None => {
+                    eprintln!(
+                        "--technique requires one of: baseline, ideal-dy-reuse, interleaving, rearrangement, rearrangement-oracle, data-partitioning"
+                    );
+                    return usage();
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown trace flag '{other}'");
+                return usage();
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [target, config_arg] = positional[..] else {
+        eprintln!("trace takes exactly two positional arguments: <model|MxKxN> <config>");
+        return usage();
+    };
+    let Some(config) = parse_config(config_arg) else {
+        eprintln!("unknown config '{config_arg}'");
+        return usage();
+    };
+
+    // One layer at a time: each layer's raw event stream is folded into
+    // the incremental exporter and dropped before the next layer runs,
+    // so whole-model traces stay within a bounded memory footprint.
+    let options = SimOptions::default();
+    let mut export = TraceExport::new(DEFAULT_REUSE_POINTS);
+    let mut layers = 0usize;
+    let mut events = 0usize;
+    if let Some(id) = parse_model(target) {
+        let model = zoo::model(id, config.default_batch());
+        println!(
+            "tracing {} on {} under {}",
+            model.name,
+            config.name,
+            technique.label()
+        );
+        for layer in &model.layers {
+            let trace = igo_core::trace_layer_backward(
+                &layer.name,
+                layer.gemm,
+                layer.ifmap_density,
+                &config,
+                technique,
+                layer.is_first,
+                &options,
+            );
+            layers += 1;
+            events += trace.event_count();
+            export.add_layer(&trace);
+        }
+    } else if let Some(gemm) = parse::parse_mkn(target) {
+        println!(
+            "tracing layer {gemm} on {} under {}",
+            config.name,
+            technique.label()
+        );
+        let trace =
+            igo_core::trace_layer_backward(target, gemm, 1.0, &config, technique, false, &options);
+        layers = 1;
+        events = trace.event_count();
+        export.add_layer(&trace);
+    } else {
+        eprintln!("'{target}' is neither a known model nor an MxKxN layer shape");
+        return usage();
+    }
+
+    let artifacts = export.finish();
+    let dir = std::path::Path::new(&out_dir);
+    let files = [
+        ("trace.json", &artifacts.trace_json),
+        ("metrics.csv", &artifacts.metrics_csv),
+        ("dy_reuse.csv", &artifacts.dy_reuse_csv),
+        ("dy_tiles.csv", &artifacts.dy_tiles_csv),
+    ];
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create '{out_dir}': {e}");
+        return ExitCode::FAILURE;
+    }
+    for (name, contents) in files {
+        if let Err(e) = std::fs::write(dir.join(name), contents) {
+            eprintln!("cannot write '{}': {e}", dir.join(name).display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "{layers} layer(s), {events} events -> {}/{{trace.json,metrics.csv,dy_reuse.csv,dy_tiles.csv}}",
+        out_dir
+    );
+    println!("open trace.json in Perfetto (ui.perfetto.dev) or chrome://tracing");
+    ExitCode::SUCCESS
 }
 
 fn cmd_models() -> ExitCode {

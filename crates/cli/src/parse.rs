@@ -1,6 +1,8 @@
 //! Argument parsing for `igo-sim` (dependency-free by design).
 
+use igo_core::Technique;
 use igo_npu_sim::NpuConfig;
+use igo_tensor::GemmShape;
 use igo_workloads::ModelId;
 
 /// Accepted model abbreviations (superset of Table 4's: the size variants
@@ -62,6 +64,34 @@ pub fn parse_config(arg: &str) -> Option<NpuConfig> {
     }
 }
 
+/// Parse an ad-hoc layer shape `MxKxN` (e.g. `512x256x1024`); all three
+/// dimensions must be positive. The separator is a literal `x` (either
+/// case).
+pub fn parse_mkn(arg: &str) -> Option<GemmShape> {
+    let lower = arg.to_ascii_lowercase();
+    let mut parts = lower.split('x');
+    let m: u64 = parts.next()?.parse().ok()?;
+    let k: u64 = parts.next()?.parse().ok()?;
+    let n: u64 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || m == 0 || k == 0 || n == 0 {
+        return None;
+    }
+    Some(GemmShape::new(m, k, n))
+}
+
+/// Parse a technique name for `trace --technique`, case-insensitive.
+pub fn parse_technique(arg: &str) -> Option<Technique> {
+    match arg.to_ascii_lowercase().as_str() {
+        "baseline" => Some(Technique::Baseline),
+        "ideal" | "ideal-dy-reuse" => Some(Technique::IdealDyReuse),
+        "interleaving" => Some(Technique::Interleaving),
+        "rearrangement" => Some(Technique::Rearrangement),
+        "oracle" | "rearrangement-oracle" => Some(Technique::RearrangementOracle),
+        "partitioning" | "data-partitioning" => Some(Technique::DataPartitioning),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +121,38 @@ mod tests {
             let m = igo_workloads::zoo::model(*id, 8);
             assert_eq!(parse_model(&m.name), Some(*id), "{}", m.name);
         }
+    }
+
+    #[test]
+    fn parses_mkn_shapes() {
+        assert_eq!(
+            parse_mkn("512x256x1024"),
+            Some(GemmShape::new(512, 256, 1024))
+        );
+        assert_eq!(parse_mkn("4X4X4"), Some(GemmShape::new(4, 4, 4)));
+        assert!(parse_mkn("512x256").is_none());
+        assert!(parse_mkn("512x256x1024x8").is_none());
+        assert!(parse_mkn("0x1x1").is_none());
+        assert!(parse_mkn("axbxc").is_none());
+    }
+
+    #[test]
+    fn parses_techniques() {
+        assert_eq!(parse_technique("baseline"), Some(Technique::Baseline));
+        assert_eq!(
+            parse_technique("Rearrangement"),
+            Some(Technique::Rearrangement)
+        );
+        assert_eq!(parse_technique("ideal"), Some(Technique::IdealDyReuse));
+        assert_eq!(
+            parse_technique("oracle"),
+            Some(Technique::RearrangementOracle)
+        );
+        assert_eq!(
+            parse_technique("data-partitioning"),
+            Some(Technique::DataPartitioning)
+        );
+        assert!(parse_technique("magic").is_none());
     }
 
     #[test]

@@ -43,8 +43,9 @@ use crate::select::ALMOST_SQUARE_THRESHOLD;
 use crate::technique::Technique;
 use crate::tiling::TilePolicy;
 use igo_npu_sim::{
-    run_multicore, run_sequential_partitions, DramConfig, Engine, NpuConfig, OptCache, PeArray,
-    Schedule, ScheduleOp, SimReport, TileKey, Traffic,
+    run_multicore, run_sequential_partitions, AccessKind, DramConfig, Engine, EngineScratch,
+    EventLog, NpuConfig, OptCache, PeArray, Schedule, ScheduleOp, SimReport, TileKey, TraceEvent,
+    Traffic,
 };
 use igo_tensor::{GemmShape, SplitMix64, TileCoord};
 use std::collections::{HashMap, HashSet};
@@ -624,7 +625,10 @@ fn check_decision_conservation(
 /// `hits + misses == accesses`, residency never exceeds capacity, every
 /// spilled-accumulator re-fetch is preceded by a write-back of that tile,
 /// per-class traffic matches the shadow replay, and total DRAM traffic
-/// equals the sum of fetched, written-back and streamed bytes.
+/// equals the sum of fetched, written-back and streamed bytes. The
+/// schedule is additionally re-run with an [`EventLog`] recorder and the
+/// recorded `Access` events (kind and post-access occupancy) must agree
+/// with the shadow replay access by access.
 ///
 /// `report` must come from running `schedule` on one core of `config`
 /// with the default OPT replacement (any violation otherwise is the
@@ -689,6 +693,28 @@ pub fn check_report_conservation(
         }
     }
 
+    // Observability cross-check: re-run the schedule with an event
+    // recorder attached, then verify access by access that the recorded
+    // occupancy and access kind agree with this function's independent
+    // `OptCache` shadow replay. A recorder bug (or an engine/recorder
+    // divergence) shows up as an `occupancy-replay` violation.
+    let mut log = EventLog::new();
+    engine.run_recorded(schedule, &mut EngineScratch::new(), &mut log);
+    let recorded: Vec<(TileKey, AccessKind, u64)> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Access {
+                key,
+                kind,
+                occupancy,
+                ..
+            } => Some((*key, *kind, *occupancy)),
+            _ => None,
+        })
+        .collect();
+    let mut replay_diverged: Option<String> = None;
+
     let mut cache = OptCache::new(engine.residency_bytes());
     let mut traffic = Traffic::new();
     let mut moved_bytes = 0u64;
@@ -708,6 +734,28 @@ pub fn check_report_conservation(
                     let out = cache.access(key, bytes, dirty, next_use[pos]);
                     pos += 1;
                     accesses += 1;
+                    if replay_diverged.is_none() {
+                        let want_kind = if out.hit {
+                            AccessKind::Hit
+                        } else if out.fetched_bytes > 0 {
+                            AccessKind::Fetch
+                        } else {
+                            AccessKind::Materialize
+                        };
+                        match recorded.get(accesses as usize - 1) {
+                            Some(&(rkey, rkind, rocc))
+                                if rkey != key || rkind != want_kind || rocc != cache.used() =>
+                            {
+                                replay_diverged = Some(format!(
+                                    "access {}: recorded ({rkey:?}, {rkind:?}, occupancy {rocc}) \
+                                     vs shadow ({key:?}, {want_kind:?}, occupancy {})",
+                                    accesses - 1,
+                                    cache.used()
+                                ));
+                            }
+                            _ => {}
+                        }
+                    }
                     if out.fetched_bytes > 0 {
                         traffic.add_read(schedule.class_of(key.tensor), out.fetched_bytes);
                         moved_bytes += out.fetched_bytes;
@@ -756,6 +804,19 @@ pub fn check_report_conservation(
         moved_bytes += b;
     }
 
+    if recorded.len() as u64 != accesses && replay_diverged.is_none() {
+        replay_diverged = Some(format!(
+            "{} Access events recorded, schedule implies {accesses} tile accesses",
+            recorded.len()
+        ));
+    }
+    if let Some(detail) = replay_diverged {
+        violations.push(Violation {
+            seed,
+            check: "occupancy-replay",
+            detail,
+        });
+    }
     if !capacity_ok {
         violations.push(Violation {
             seed,

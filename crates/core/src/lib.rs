@@ -34,6 +34,7 @@
 
 pub mod audit;
 pub mod exec;
+pub mod observe;
 pub mod parallel;
 pub mod partition;
 pub mod partition_select;
@@ -50,6 +51,7 @@ pub use audit::{
     AuditSummary, Violation,
 };
 pub use exec::{execute_backward, execute_partitioned, DenseLayer, ExecutedGradients};
+pub use observe::{trace_layer_backward, trace_model, CoreTrace, LayerTrace};
 pub use parallel::{parallel_map, parallel_map_with, parallel_map_workers};
 pub use partition::PartitionScheme;
 pub use pipeline::{
@@ -58,7 +60,10 @@ pub use pipeline::{
     simulate_layer_forward_with, simulate_model, simulate_model_with, LayerDecision, LayerOutcome,
     ModelReport, SimOptions, TrainingPhase,
 };
-pub use report_io::{ladder_csv, layers_csv, LadderMismatch};
+pub use report_io::{
+    chrome_trace_json, dy_reuse_csv, dy_tiles_csv, ladder_csv, layers_csv, trace_metrics_csv,
+    write_chrome_trace, LadderMismatch, TraceArtifacts, TraceExport, DEFAULT_REUSE_POINTS,
+};
 pub use schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
 pub use select::select_order;
 pub use simcache::{sim_cache_len, sim_cache_stats, CacheStats, ConfigFingerprint};

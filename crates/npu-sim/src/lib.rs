@@ -51,6 +51,7 @@ pub mod energy;
 pub mod engine;
 pub mod multicore;
 pub mod opt;
+pub mod recorder;
 pub mod spm;
 pub mod stats;
 pub mod systolic;
@@ -65,6 +66,10 @@ pub use multicore::{
     run_sequential_partitions_with_scratch, MultiCoreReport,
 };
 pub use opt::{DenseOptCache, OptCache};
+pub use recorder::{
+    AccessKind, ClassMetrics, DyReusePoint, EventLog, NullRecorder, Phase, Recorder,
+    ReuseHistogram, RunMetrics, TileStats, TraceEvent, REUSE_BUCKETS,
+};
 pub use spm::SpmCache;
 pub use stats::{SimReport, Traffic};
 pub use systolic::SystolicModel;

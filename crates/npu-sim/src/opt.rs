@@ -39,6 +39,7 @@ struct Entry {
 pub struct OptCache {
     capacity: u64,
     used: u64,
+    high_water: u64,
     entries: HashMap<TileKey, Entry>,
     /// Residents ordered by next use (furthest last).
     order: BTreeSet<(NextUse, TileKey)>,
@@ -58,6 +59,7 @@ impl OptCache {
         Self {
             capacity,
             used: 0,
+            high_water: 0,
             entries: HashMap::new(),
             order: BTreeSet::new(),
             spilled: HashSet::new(),
@@ -74,6 +76,13 @@ impl OptCache {
     /// Bytes currently resident.
     pub fn used(&self) -> u64 {
         self.used
+    }
+
+    /// Highest residency (bytes) ever observed — the SPM occupancy
+    /// high-water mark. Survives [`OptCache::clear`] so it spans kernel
+    /// boundaries within one run.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
     }
 
     /// Hits so far.
@@ -134,6 +143,7 @@ impl OptCache {
                     self.spilled.insert(victim_key);
                 }
             }
+            self.high_water = self.high_water.max(self.used);
             return AccessOutcome {
                 fetched_bytes: 0,
                 writebacks,
@@ -187,6 +197,7 @@ impl OptCache {
             );
             self.order.insert((next_use, key));
             self.used += bytes;
+            self.high_water = self.high_water.max(self.used);
         } else if dirty {
             // Bypassed dirty tile: write through.
             writebacks.push((key, bytes));
@@ -246,6 +257,7 @@ struct DenseSlot {
 pub struct DenseOptCache {
     capacity: u64,
     used: u64,
+    high_water: u64,
     slots: Vec<DenseSlot>,
     /// Residents ordered by next use (furthest last); the trailing id rides
     /// along for slot lookup and never affects the ordering because
@@ -266,6 +278,7 @@ impl DenseOptCache {
         assert!(capacity > 0, "SPM residency capacity must be positive");
         self.capacity = capacity;
         self.used = 0;
+        self.high_water = 0;
         self.slots.clear();
         self.slots.resize(num_tiles, DenseSlot::default());
         self.order.clear();
@@ -291,6 +304,14 @@ impl DenseOptCache {
     /// Bytes currently resident.
     pub fn used(&self) -> u64 {
         self.used
+    }
+
+    /// Highest residency (bytes) ever observed since the last
+    /// [`DenseOptCache::reset`] — the SPM occupancy high-water mark.
+    /// Survives [`DenseOptCache::clear`] so it spans kernel boundaries
+    /// within one run.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
     }
 
     /// Access tile `id` (interned from `key`). Semantics are identical to
@@ -337,6 +358,7 @@ impl DenseOptCache {
                     victim.spilled = true;
                 }
             }
+            self.high_water = self.high_water.max(self.used);
             return 0;
         }
 
@@ -376,6 +398,7 @@ impl DenseOptCache {
             slot.next_use = next_use;
             self.order.insert((next_use, key, id));
             self.used += bytes;
+            self.high_water = self.high_water.max(self.used);
         } else if dirty {
             // Bypassed dirty tile: write through.
             writebacks.push((id, bytes));

@@ -1,0 +1,542 @@
+//! Cycle-stamped event recording for [`crate::Engine`] runs.
+//!
+//! The engine's reports are end-of-run aggregates; the paper's argument,
+//! however, is about *when* a `dY` tile is resident versus refetched. The
+//! [`Recorder`] trait lets a run emit its tile-level timeline — fetches,
+//! hits, accumulator materialisations, spills, write-backs, tile-GEMM
+//! issues, and the phase transitions between the interleaved `dX`/`dW`
+//! sub-streams — without costing the simulate-and-select hot loop
+//! anything when recording is off.
+//!
+//! Zero-cost-when-off is structural, not a promise: `Engine::run_recorded`
+//! is generic over `R: Recorder`, every recording site is guarded by
+//! `if R::ENABLED { ... }`, and [`NullRecorder`] sets the associated
+//! `const ENABLED: bool` to `false` — so the monomorphised default path
+//! contains no recording code at all and is the *same function body* the
+//! pre-observability engine compiled to.
+//!
+//! [`RunMetrics::from_events`] derives the per-run summary instruments
+//! from a recorded [`EventLog`]: the SPM occupancy high-water mark,
+//! per-class reuse-distance histograms, and the dY reuse ratio over time
+//! resolved per tile (the paper's Figure 5 quantity, per tile instead of
+//! summed).
+
+use crate::trace::TileKey;
+use igo_tensor::TensorClass;
+use std::collections::HashMap;
+
+/// Which interleaved backward sub-stream a tile-GEMM belongs to, judged by
+/// its accumulator's tensor class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Accumulating into `dX` (input gradient).
+    Dx,
+    /// Accumulating into `dW` (weight gradient).
+    Dw,
+    /// Anything else (forward ops, reductions, accumulator-free ops).
+    Other,
+}
+
+impl Phase {
+    /// Classify an op by its accumulator class (`None` for no accumulator).
+    pub fn of_accumulator(class: Option<TensorClass>) -> Phase {
+        match class {
+            Some(TensorClass::InGrad) => Phase::Dx,
+            Some(TensorClass::WGrad) => Phase::Dw,
+            _ => Phase::Other,
+        }
+    }
+
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Dx => "dX",
+            Phase::Dw => "dW",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// What an SPM tile access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The tile was already resident: no DRAM traffic.
+    Hit,
+    /// The tile was fetched from DRAM (operand miss, or re-fetch of a
+    /// previously spilled accumulator).
+    Fetch,
+    /// A fresh accumulator tile materialised in SPM (or wrote through on a
+    /// bypass) with no DRAM read.
+    Materialize,
+}
+
+/// One cycle-stamped engine event.
+///
+/// `op` is the index of the originating [`crate::ScheduleOp`] in the
+/// schedule's op stream. Memory-side events (`Access`, `WriteBack`,
+/// `StreamIo`) are stamped with the op's *memory-timeline start* cycle;
+/// compute-side events (`GemmIssue`, `PhaseBegin`/`PhaseEnd`) with the
+/// compute-timeline issue cycle. Cycle stamps are rounded to integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A tile access resolved against the SPM residency model.
+    Access {
+        /// Originating op index.
+        op: u32,
+        /// The tile touched.
+        key: TileKey,
+        /// Traffic class of the tile's tensor.
+        class: TensorClass,
+        /// Clipped tile size in bytes.
+        bytes: u64,
+        /// Hit / fetch / materialise.
+        kind: AccessKind,
+        /// Memory-timeline cycle at which the op's transfers start.
+        cycle: u64,
+        /// Bytes resident in SPM immediately after this access.
+        occupancy: u64,
+    },
+    /// A dirty tile written back to DRAM.
+    WriteBack {
+        /// Originating op index (the evicting access's op, or the barrier /
+        /// end-of-run flush op).
+        op: u32,
+        /// The tile written back.
+        key: TileKey,
+        /// Traffic class of the tile's tensor.
+        class: TensorClass,
+        /// Bytes written.
+        bytes: u64,
+        /// `true` for a capacity spill (the tile may be re-fetched later),
+        /// `false` for a flush at a kernel boundary or end of run.
+        spill: bool,
+        /// Memory-timeline cycle of the write.
+        cycle: u64,
+    },
+    /// A tile-GEMM issued on the systolic array.
+    GemmIssue {
+        /// Originating op index.
+        op: u32,
+        /// Compute-timeline cycle the GEMM starts.
+        start: u64,
+        /// Systolic cycles the GEMM occupies.
+        cycles: u64,
+        /// Which backward sub-stream the op belongs to.
+        phase: Phase,
+    },
+    /// A pure data-movement op (reduction, element-wise pass).
+    StreamIo {
+        /// Originating op index.
+        op: u32,
+        /// Traffic class.
+        class: TensorClass,
+        /// Bytes read from DRAM.
+        read_bytes: u64,
+        /// Bytes written to DRAM.
+        write_bytes: u64,
+        /// Memory-timeline start cycle.
+        cycle: u64,
+    },
+    /// The run entered a new phase (first GEMM of a sub-stream).
+    PhaseBegin {
+        /// Op index of the first op in the phase.
+        op: u32,
+        /// The phase entered.
+        phase: Phase,
+        /// Compute-timeline cycle.
+        cycle: u64,
+    },
+    /// The run left a phase (every `PhaseBegin` gets a matching end).
+    PhaseEnd {
+        /// Op index of the op after the phase (or the last op at run end).
+        op: u32,
+        /// The phase left.
+        phase: Phase,
+        /// Compute-timeline cycle.
+        cycle: u64,
+    },
+    /// A kernel boundary was crossed: residency dropped, timelines synced.
+    Barrier {
+        /// The barrier op's index.
+        op: u32,
+        /// Memory-timeline cycle after the sync.
+        cycle: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's cycle stamp (memory- or compute-timeline as documented
+    /// per variant).
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Access { cycle, .. }
+            | TraceEvent::WriteBack { cycle, .. }
+            | TraceEvent::StreamIo { cycle, .. }
+            | TraceEvent::PhaseBegin { cycle, .. }
+            | TraceEvent::PhaseEnd { cycle, .. }
+            | TraceEvent::Barrier { cycle, .. } => cycle,
+            TraceEvent::GemmIssue { start, .. } => start,
+        }
+    }
+}
+
+/// Sink for engine events.
+///
+/// Implementations with `ENABLED == false` guarantee the engine skips
+/// every recording site at compile time (the guards are
+/// `if R::ENABLED { ... }` on an associated `const`).
+pub trait Recorder {
+    /// Whether the engine should emit events at all. Recording sites are
+    /// compiled out when this is `false`.
+    const ENABLED: bool = true;
+
+    /// Receive one event. Called only when [`Recorder::ENABLED`] is true.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The default no-op recorder: compiles the engine down to the exact
+/// unrecorded hot path ([`Recorder::ENABLED`] is `false`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// A recorder that stores every event in order.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Recorder for EventLog {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Number of log₂ reuse-distance buckets ([1,2), [2,4), ... with the last
+/// bucket absorbing everything ≥ 2¹⁵).
+pub const REUSE_BUCKETS: usize = 16;
+
+/// Histogram of tile reuse distances, in *access count* (how many tile
+/// accesses separate two touches of the same tile — the schedule-order
+/// analogue of the byte-stack distances in [`crate::analysis`]).
+///
+/// Every access lands in exactly one bucket: a first-ever touch of a tile
+/// is `cold`; a repeat at distance `d ≥ 1` lands in bucket `⌊log₂ d⌋`
+/// (clamped to the last bucket). Hence `total() == accesses == hits +
+/// misses` for the recorded run — the conservation the trace tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReuseHistogram {
+    /// First-ever accesses (no prior touch to measure a distance from).
+    pub cold: u64,
+    /// `buckets[i]` counts repeats with `⌊log₂ distance⌋ == i` (last
+    /// bucket clamps).
+    pub buckets: [u64; REUSE_BUCKETS],
+}
+
+impl ReuseHistogram {
+    fn add(&mut self, distance: u64) {
+        let idx = (distance.max(1).ilog2() as usize).min(REUSE_BUCKETS - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// All accesses accounted for: cold plus every distance bucket.
+    pub fn total(&self) -> u64 {
+        self.cold + self.buckets.iter().sum::<u64>()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        self.cold += other.cold;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-tensor-class access metrics derived from a recorded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassMetrics {
+    /// Tile accesses of this class.
+    pub accesses: u64,
+    /// Accesses that hit in SPM.
+    pub hits: u64,
+    /// Reuse-distance histogram over this class's accesses.
+    pub histogram: ReuseHistogram,
+}
+
+impl ClassMetrics {
+    /// Misses (`accesses - hits`).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+}
+
+/// One point of the dY reuse-ratio time series: the cumulative hit ratio
+/// of `dY` (OutGrad) tile accesses up to `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DyReusePoint {
+    /// Memory-timeline cycle of the access.
+    pub cycle: u64,
+    /// Cumulative dY accesses so far (including this one).
+    pub accesses: u64,
+    /// Cumulative dY hits so far.
+    pub hits: u64,
+}
+
+impl DyReusePoint {
+    /// The cumulative reuse (hit) ratio at this point.
+    pub fn ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Per-tile access statistics (reported for `dY`, the paper's subject).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileStats {
+    /// The tile.
+    pub key: TileKey,
+    /// Clipped tile size in bytes (last observed).
+    pub bytes: u64,
+    /// Accesses to this tile.
+    pub accesses: u64,
+    /// Accesses that hit in SPM.
+    pub hits: u64,
+}
+
+impl TileStats {
+    /// Per-tile reuse ratio: hits over accesses.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Derived metrics of one recorded engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Residency capacity the run was recorded against, in bytes.
+    pub capacity: u64,
+    /// Highest SPM residency observed after any access, in bytes.
+    pub occupancy_high_water: u64,
+    /// Per-class metrics, indexed like [`TensorClass::ALL`].
+    pub per_class: [ClassMetrics; 7],
+    /// Cumulative dY reuse ratio over (memory-timeline) time, one point
+    /// per dY access.
+    pub dy_timeline: Vec<DyReusePoint>,
+    /// Per-dY-tile access statistics, sorted by tile key.
+    pub dy_tiles: Vec<TileStats>,
+}
+
+impl RunMetrics {
+    /// Compute the metrics of a recorded run with residency `capacity`.
+    pub fn from_events(events: &[TraceEvent], capacity: u64) -> Self {
+        let mut out = RunMetrics {
+            capacity,
+            ..Default::default()
+        };
+        // Global access counter and last-seen positions for reuse
+        // distances (in accesses, across all classes — the stream the SPM
+        // actually sees).
+        let mut position: u64 = 0;
+        let mut last_seen: HashMap<TileKey, u64> = HashMap::new();
+        let mut dy_tiles: HashMap<TileKey, TileStats> = HashMap::new();
+        for event in events {
+            let &TraceEvent::Access {
+                key,
+                class,
+                bytes,
+                kind,
+                cycle,
+                occupancy,
+                ..
+            } = event
+            else {
+                continue;
+            };
+            out.occupancy_high_water = out.occupancy_high_water.max(occupancy);
+            let hit = kind == AccessKind::Hit;
+            let cm = &mut out.per_class[class_index(class)];
+            cm.accesses += 1;
+            cm.hits += u64::from(hit);
+            match last_seen.insert(key, position) {
+                None => cm.histogram.cold += 1,
+                Some(prev) => cm.histogram.add(position - prev),
+            }
+            position += 1;
+            if class == TensorClass::OutGrad {
+                let stats = dy_tiles.entry(key).or_insert(TileStats {
+                    key,
+                    bytes,
+                    accesses: 0,
+                    hits: 0,
+                });
+                stats.bytes = bytes;
+                stats.accesses += 1;
+                stats.hits += u64::from(hit);
+                let last = out.dy_timeline.last().copied();
+                out.dy_timeline.push(DyReusePoint {
+                    cycle,
+                    accesses: last.map_or(0, |p| p.accesses) + 1,
+                    hits: last.map_or(0, |p| p.hits) + u64::from(hit),
+                });
+            }
+        }
+        out.dy_tiles = dy_tiles.into_values().collect();
+        out.dy_tiles.sort_unstable_by_key(|t| t.key);
+        out
+    }
+
+    /// Metrics for one class.
+    pub fn class(&self, class: TensorClass) -> &ClassMetrics {
+        &self.per_class[class_index(class)]
+    }
+
+    /// Total tile accesses across all classes.
+    pub fn total_accesses(&self) -> u64 {
+        self.per_class.iter().map(|c| c.accesses).sum()
+    }
+
+    /// Total SPM hits across all classes.
+    pub fn total_hits(&self) -> u64 {
+        self.per_class.iter().map(|c| c.hits).sum()
+    }
+
+    /// Final cumulative dY reuse ratio (0 when the run touches no dY).
+    pub fn dy_reuse_ratio(&self) -> f64 {
+        self.dy_timeline.last().map_or(0.0, DyReusePoint::ratio)
+    }
+}
+
+fn class_index(class: TensorClass) -> usize {
+    TensorClass::ALL
+        .iter()
+        .position(|&c| c == class)
+        .expect("TensorClass::ALL covers all classes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TensorId;
+    use igo_tensor::TileCoord;
+
+    fn access(t: u32, c: u32, class: TensorClass, kind: AccessKind, occ: u64) -> TraceEvent {
+        TraceEvent::Access {
+            op: 0,
+            key: TileKey {
+                tensor: TensorId::from_raw(t),
+                coord: TileCoord::new(0, c),
+            },
+            class,
+            bytes: 100,
+            kind,
+            cycle: 0,
+            occupancy: occ,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2_distance() {
+        let mut h = ReuseHistogram::default();
+        h.add(1); // bucket 0
+        h.add(2); // bucket 1
+        h.add(3); // bucket 1
+        h.add(4); // bucket 2
+        h.add(1 << 20); // clamped to the last bucket
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[REUSE_BUCKETS - 1], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn metrics_account_every_access_once() {
+        use AccessKind::{Fetch, Hit};
+        use TensorClass::{OutGrad, Weight};
+        let events = vec![
+            access(0, 0, OutGrad, Fetch, 100),
+            access(1, 0, Weight, Fetch, 200),
+            access(0, 0, OutGrad, Hit, 200), // distance 2
+            access(0, 1, OutGrad, Fetch, 300),
+            access(0, 0, OutGrad, Hit, 300), // distance 2
+        ];
+        let m = RunMetrics::from_events(&events, 1000);
+        assert_eq!(m.total_accesses(), 5);
+        assert_eq!(m.total_hits(), 2);
+        assert_eq!(m.occupancy_high_water, 300);
+        let dy = m.class(OutGrad);
+        assert_eq!(dy.accesses, 4);
+        assert_eq!(dy.hits, 2);
+        assert_eq!(dy.misses(), 2);
+        // cold(0,0) + cold(0,1) + two distance-2 repeats.
+        assert_eq!(dy.histogram.cold, 2);
+        assert_eq!(dy.histogram.buckets[1], 2);
+        assert_eq!(dy.histogram.total(), dy.accesses);
+        let total_hist: u64 = m.per_class.iter().map(|c| c.histogram.total()).sum();
+        assert_eq!(total_hist, m.total_accesses());
+    }
+
+    #[test]
+    fn dy_timeline_is_cumulative_and_per_tile_stats_sorted() {
+        use AccessKind::{Fetch, Hit};
+        let events = vec![
+            access(0, 1, TensorClass::OutGrad, Fetch, 100),
+            access(0, 0, TensorClass::OutGrad, Fetch, 200),
+            access(0, 1, TensorClass::OutGrad, Hit, 200),
+        ];
+        let m = RunMetrics::from_events(&events, 1000);
+        assert_eq!(m.dy_timeline.len(), 3);
+        let last = m.dy_timeline.last().unwrap();
+        assert_eq!((last.accesses, last.hits), (3, 1));
+        assert!((m.dy_reuse_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.dy_tiles.len(), 2);
+        assert!(m.dy_tiles[0].key < m.dy_tiles[1].key, "sorted by key");
+        let t1 = m.dy_tiles.iter().find(|t| t.key.coord.c == 1).unwrap();
+        assert_eq!((t1.accesses, t1.hits), (2, 1));
+        assert!((t1.reuse_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_classification_follows_accumulator_class() {
+        assert_eq!(Phase::of_accumulator(Some(TensorClass::InGrad)), Phase::Dx);
+        assert_eq!(Phase::of_accumulator(Some(TensorClass::WGrad)), Phase::Dw);
+        assert_eq!(
+            Phase::of_accumulator(Some(TensorClass::Ofmap)),
+            Phase::Other
+        );
+        assert_eq!(Phase::of_accumulator(None), Phase::Other);
+        assert_eq!(Phase::Dx.label(), "dX");
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        // Read through a function so the flags are checked as the engine's
+        // generic code sees them (and clippy accepts the runtime assert).
+        fn enabled<R: Recorder>() -> bool {
+            R::ENABLED
+        }
+        assert!(!enabled::<NullRecorder>());
+        assert!(enabled::<EventLog>());
+    }
+}

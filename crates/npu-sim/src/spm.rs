@@ -51,6 +51,7 @@ struct Entry {
 pub struct SpmCache {
     capacity: u64,
     used: u64,
+    high_water: u64,
     tick: u64,
     entries: HashMap<TileKey, Entry>,
     lru: BTreeMap<u64, TileKey>,
@@ -72,6 +73,7 @@ impl SpmCache {
         Self {
             capacity,
             used: 0,
+            high_water: 0,
             tick: 0,
             entries: HashMap::new(),
             lru: BTreeMap::new(),
@@ -89,6 +91,13 @@ impl SpmCache {
     /// Bytes currently resident.
     pub fn used(&self) -> u64 {
         self.used
+    }
+
+    /// Highest residency (bytes) ever observed — the SPM occupancy
+    /// high-water mark. Survives [`SpmCache::clear`] so it spans kernel
+    /// boundaries within one run.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
     }
 
     /// Number of resident tiles.
@@ -151,6 +160,7 @@ impl SpmCache {
             } else {
                 Vec::new()
             };
+            self.high_water = self.high_water.max(self.used);
             return AccessOutcome {
                 fetched_bytes: 0,
                 writebacks,
@@ -196,6 +206,7 @@ impl SpmCache {
         );
         self.lru.insert(self.tick, key);
         self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
         AccessOutcome {
             fetched_bytes: fetched,
             writebacks,

@@ -18,10 +18,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --release
 
+echo "== cargo bench --no-run (bench-rot gate) =="
+# The Criterion-style harnesses are excluded from `cargo test`; compiling
+# them here keeps them from rotting without paying their runtime in CI.
+cargo bench -p igo-bench --no-run
+
 echo "== cargo test =="
 cargo test -q
 
 echo "== fixed-seed differential fuzz-audit =="
-./target/release/igo-sim audit --seeds 200
+# Tee the JSON summary to a file so CI can print it and upload it as an
+# artifact on failure; `pipefail` preserves the audit's exit code.
+./target/release/igo-sim audit --seeds 200 | tee audit-summary.json
 
 echo "verify: all checks passed"

@@ -8,8 +8,12 @@
 //! the plain sequential reference path. A forced 3-worker pool exercises
 //! real cross-thread reductions even on a single-CPU machine.
 
-use igo_core::{simulate_model_with, ModelReport, SimOptions, Technique};
-use igo_npu_sim::NpuConfig;
+use igo_core::{
+    simulate_layer_backward_with, simulate_model_with, trace_layer_backward, ModelReport,
+    SimOptions, Technique,
+};
+use igo_npu_sim::{Engine, EngineScratch, EventLog, NpuConfig};
+use igo_tensor::GemmShape;
 use igo_workloads::{zoo, ModelId};
 
 /// Optimized options with a pool forced larger than one worker, so the
@@ -95,6 +99,64 @@ fn zoo_partitioning_is_bit_identical_on_server_config() {
 #[test]
 fn zoo_baseline_is_bit_identical_on_server_config() {
     golden_sweep(&NpuConfig::large_single_core(), 1, Technique::Baseline);
+}
+
+/// The recorder hook must be invisible when off *and* when on: the
+/// default engine path (a `NullRecorder`, whose `ENABLED = false` compiles
+/// every instrumentation block out) and a fully recording [`EventLog`] run
+/// must both produce the exact report the engine produced before the hook
+/// existed.
+#[test]
+fn recorder_leaves_engine_reports_bit_identical() {
+    use igo_core::{BackwardBuilder, BackwardOrder, LayerTensors, TilePolicy};
+    use igo_npu_sim::Schedule;
+
+    for config in [NpuConfig::small_edge(), NpuConfig::large_single_core()] {
+        let engine = Engine::new(&config);
+        let policy = TilePolicy::for_config(&config);
+        for order in [
+            BackwardOrder::Baseline,
+            BackwardOrder::Interleaved,
+            BackwardOrder::DxMajor,
+            BackwardOrder::DwMajor,
+        ] {
+            let mut s = Schedule::new("golden");
+            let tensors = LayerTensors::register(&mut s, "layer");
+            BackwardBuilder::new(GemmShape::new(384, 192, 320), policy, tensors)
+                .emit(order, false, &mut s);
+            let plain = engine.run(&s);
+            let mut log = EventLog::new();
+            let recorded = engine.run_recorded(&s, &mut EngineScratch::new(), &mut log);
+            assert_eq!(plain, recorded, "{order:?}: recording changed the report");
+            assert!(!log.events.is_empty());
+            // Re-running through the null path after a recorded run must
+            // still be bit-identical (no state leaks between runs).
+            assert_eq!(plain, engine.run(&s), "{order:?}: replay diverged");
+        }
+    }
+}
+
+/// The traced front-end re-derives the pipeline's decision and reports
+/// without perturbing either — decisions and reports stay bit-identical
+/// whether or not a recorder observed the run.
+#[test]
+fn traced_pipeline_is_bit_identical_to_untraced() {
+    let options = SimOptions::sequential();
+    for config in [NpuConfig::small_edge(), NpuConfig::large_server(2)] {
+        for technique in [
+            Technique::Baseline,
+            Technique::Interleaving,
+            Technique::DataPartitioning,
+        ] {
+            let gemm = GemmShape::new(448, 256, 384);
+            let (report, decision) =
+                simulate_layer_backward_with(gemm, 1.0, &config, technique, false, &options);
+            let trace =
+                trace_layer_backward("layer", gemm, 1.0, &config, technique, false, &options);
+            assert_eq!(trace.decision, decision, "{technique:?}: decision diverged");
+            assert_eq!(trace.report, report, "{technique:?}: report diverged");
+        }
+    }
 }
 
 #[test]
