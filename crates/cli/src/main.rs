@@ -5,6 +5,8 @@
 //! igo-sim ladder  <model> <config>            technique ladder for one model
 //! igo-sim layer   <M> <K> <N> <config>        per-order comparison of one layer
 //! igo-sim sweep   <model>                     bandwidth sweep on the large NPU
+//! igo-sim sweep   <model|zoo> --spm <ladder> [--techniques <list>]
+//!                 [--config C] [--out DIR]    SPM × technique × model grid
 //! igo-sim perf    [edge|server|all]           pipeline self-measurement
 //! igo-sim audit   [--seeds N] [--seed S]      differential fuzz-audit
 //! igo-sim trace   <model|MxKxN> <config> [--out DIR] [--technique T]
@@ -14,6 +16,15 @@
 //! `<model>` is a Table-4 abbreviation (`res`, `goo`, `mob`, `rcnn`, `ncf`,
 //! `dlrm`, `yolo`, `yolo-tiny`, `bert`, `bert-tiny`, `t5`, `t5-small`) or a
 //! full model name (`resnet50`, `bert-large`, ...).
+//!
+//! The grid form of `sweep` fans a design-space grid — SPM capacity rungs
+//! (`--spm`, MiB) × techniques × models (`zoo` sweeps the whole suite of
+//! the base config) — across the worker pool, one grid point per worker,
+//! with the analytic fast-path engine evaluating each point. With `--out`
+//! it writes `sweep.csv` and `summary.json`; otherwise both go to stdout.
+//!
+//! The global `--jobs N` flag caps the worker pool (equivalent to setting
+//! `IGO_SIM_THREADS=N`); results are identical for every worker count.
 //!
 //! `trace` re-runs the decided backward schedules with the cycle-level
 //! recorder attached and writes `trace.json` (Chrome trace-event JSON,
@@ -32,11 +43,11 @@
 
 use igo_bench::wallclock::{measure, Timing};
 use igo_core::{
-    run_audit, select_order, sim_cache_stats, simulate_layer_backward, simulate_model,
-    simulate_model_with, BackwardOrder, ModelReport, SimOptions, Technique, TraceExport,
-    DEFAULT_REUSE_POINTS,
+    parallel_map, run_audit, select_order, sim_cache_stats, simulate_layer_backward,
+    simulate_model, simulate_model_with, BackwardOrder, ModelReport, SimOptions, Technique,
+    TraceExport, DEFAULT_REUSE_POINTS,
 };
-use igo_npu_sim::{engine_run_count, NpuConfig};
+use igo_npu_sim::{analytic_run_count, engine_run_count, NpuConfig};
 use igo_tensor::GemmShape;
 use igo_workloads::{zoo, Model, ModelId};
 use std::process::ExitCode;
@@ -47,28 +58,54 @@ use parse::{parse_config, parse_model};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  igo-sim [--timing] models\n  igo-sim [--timing] ladder <model> <edge|server|serverxN>\n  igo-sim [--timing] layer <M> <K> <N> <edge|server>\n  igo-sim [--timing] sweep <model>\n  igo-sim [--timing] perf [edge|server|all]\n  igo-sim [--timing] audit [--seeds N] [--seed S]\n  igo-sim [--timing] trace <model|MxKxN> <edge|server|serverxN> [--out DIR] [--technique T]"
+        "usage:\n  igo-sim [--timing] [--jobs N] models\n  igo-sim [--timing] [--jobs N] ladder <model> <edge|server|serverxN>\n  igo-sim [--timing] [--jobs N] layer <M> <K> <N> <edge|server>\n  igo-sim [--timing] [--jobs N] sweep <model>\n  igo-sim [--timing] [--jobs N] sweep <model|zoo> --spm <mib,..> [--techniques <t,..>] [--config <edge|server|serverxN>] [--out DIR]\n  igo-sim [--timing] [--jobs N] perf [edge|server|all]\n  igo-sim [--timing] [--jobs N] audit [--seeds N] [--seed S]\n  igo-sim [--timing] [--jobs N] trace <model|MxKxN> <edge|server|serverxN> [--out DIR] [--technique T]"
     );
     ExitCode::from(2)
+}
+
+/// Strip the global `--jobs N` flag, applying it as the process-wide
+/// `IGO_SIM_THREADS` default (an explicit env var loses to the flag).
+/// Returns `false` on a malformed value.
+fn take_jobs_flag(args: &mut Vec<String>) -> bool {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return true;
+    };
+    match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => {
+            std::env::set_var(igo_core::THREADS_ENV, n.to_string());
+            args.drain(i..=i + 1);
+            true
+        }
+        _ => {
+            eprintln!("--jobs requires a positive integer");
+            false
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let timing = args.iter().any(|a| a == "--timing");
     args.retain(|a| a != "--timing");
+    if !take_jobs_flag(&mut args) {
+        return usage();
+    }
     let label = args.join(" ");
     let runs_before = engine_run_count();
     let cache_before = sim_cache_stats();
     let (code, wall) = measure(|| {
-        // `audit` and `trace` parse their own flags; every other command
-        // takes no flags beyond the already-consumed `--timing`, so any
-        // remaining `--` argument is an explicit error instead of
+        // `audit`, `trace` and `sweep` parse their own flags; every other
+        // command takes no flags beyond the already-consumed globals, so
+        // any remaining `--` argument is an explicit error instead of
         // silently becoming a positional argument.
         if args.first().map(String::as_str) == Some("audit") {
             return cmd_audit(&args[1..]);
         }
         if args.first().map(String::as_str) == Some("trace") {
             return cmd_trace(&args[1..]);
+        }
+        if args.first().map(String::as_str) == Some("sweep") {
+            return cmd_sweep(&args[1..]);
         }
         if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
             eprintln!("unknown flag '{flag}'");
@@ -78,7 +115,6 @@ fn main() -> ExitCode {
             Some("models") => cmd_models(),
             Some("ladder") if args.len() == 3 => cmd_ladder(&args[1], &args[2]),
             Some("layer") if args.len() == 5 => cmd_layer(&args[1..]),
-            Some("sweep") if args.len() == 2 => cmd_sweep(&args[1]),
             Some("perf") => {
                 if args.len() > 2 {
                     eprintln!("perf takes at most one target (edge|server|all)");
@@ -360,7 +396,21 @@ fn cmd_layer(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_sweep(model_arg: &str) -> ExitCode {
+/// `sweep` front end. The legacy one-positional form (`sweep <model>`) is
+/// the Figure-15 bandwidth sweep; `zoo` or any flag selects the
+/// design-space grid sweep.
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    if let [only] = args {
+        if only != "zoo" && !only.starts_with("--") {
+            return sweep_bandwidth(only);
+        }
+    }
+    sweep_grid(args)
+}
+
+/// The original bandwidth sweep (Figure 15): baseline vs data
+/// partitioning on the large NPU at 1×/0.5×/0.25× DRAM bandwidth.
+fn sweep_bandwidth(model_arg: &str) -> ExitCode {
     let Some(id) = parse_model(model_arg) else {
         eprintln!("unknown model '{model_arg}'");
         return usage();
@@ -381,6 +431,180 @@ fn cmd_sweep(model_arg: &str) -> ExitCode {
             ours.total_cycles(),
             (1.0 - ours.normalized_to(&base)) * 100.0
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The zoo suite that belongs to a base config (edge configs sweep the
+/// edge suite, server configs the server suite).
+fn suite_for(config: &NpuConfig) -> &'static [ModelId] {
+    if config.pe.rows >= 100 {
+        &zoo::SERVER_SUITE
+    } else {
+        &zoo::EDGE_SUITE
+    }
+}
+
+/// Design-space grid sweep: SPM-capacity rungs × techniques × models,
+/// fanned across the worker pool one grid point at a time (each point's
+/// inner candidate pools stay sequential on their worker), evaluated by
+/// the analytic fast-path pipeline. Emits `sweep.csv` plus a JSON summary
+/// to `--out DIR` or stdout.
+fn sweep_grid(args: &[String]) -> ExitCode {
+    let mut config = NpuConfig::large_single_core();
+    let mut spm_ladder: Option<Vec<u64>> = None;
+    let mut techniques: Vec<Technique> = Technique::LADDER.to_vec();
+    let mut out_dir: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => match it.next().and_then(|v| parse_config(v)) {
+                Some(c) => config = c,
+                None => {
+                    eprintln!("--config requires edge, server, or serverxN");
+                    return usage();
+                }
+            },
+            "--spm" => match it.next().and_then(|v| parse::parse_spm_ladder(v)) {
+                Some(l) => spm_ladder = Some(l),
+                None => {
+                    eprintln!("--spm requires a comma-separated list of positive MiB values");
+                    return usage();
+                }
+            },
+            "--techniques" => match it.next().and_then(|v| parse::parse_techniques(v)) {
+                Some(l) => techniques = l,
+                None => {
+                    eprintln!("--techniques requires a comma-separated list of technique names");
+                    return usage();
+                }
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return usage();
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown sweep flag '{other}'");
+                return usage();
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [target] = positional[..] else {
+        eprintln!("sweep takes exactly one positional argument: <model|zoo>");
+        return usage();
+    };
+    let models: Vec<Model> = if target == "zoo" {
+        suite_for(&config)
+            .iter()
+            .map(|&id| zoo::model(id, config.default_batch()))
+            .collect()
+    } else if let Some(id) = parse_model(target) {
+        vec![zoo::model(id, config.default_batch())]
+    } else {
+        eprintln!("'{target}' is neither a known model nor 'zoo'");
+        return usage();
+    };
+    let spm_ladder = spm_ladder.unwrap_or_else(|| vec![config.spm_bytes >> 20]);
+
+    // The grid, technique-innermost so each (spm, model) block is
+    // contiguous and its first entry is that block's normalization base.
+    let mut points: Vec<(u64, usize, Technique)> = Vec::new();
+    for &mib in &spm_ladder {
+        for mi in 0..models.len() {
+            for &t in &techniques {
+                points.push((mib, mi, t));
+            }
+        }
+    }
+    let runs_before = engine_run_count();
+    let analytic_before = analytic_run_count();
+    let cache_before = sim_cache_stats();
+    let options = SimOptions::optimized();
+    let (reports, wall) = measure(|| {
+        parallel_map(&points, |&(mib, mi, technique)| {
+            let rung = config.clone().with_spm_bytes(mib << 20);
+            simulate_model_with(&models[mi], &rung, technique, &options)
+        })
+    });
+
+    let block = techniques.len();
+    let mut csv = String::from("config,spm_mib,model,technique,cycles,dram_mib,vs_first\n");
+    for (i, ((mib, mi, technique), r)) in points.iter().zip(&reports).enumerate() {
+        let base_cycles = reports[i - i % block].total_cycles();
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{:.4}\n",
+            config.name,
+            mib,
+            models[*mi].name,
+            technique.label(),
+            r.total_cycles(),
+            r.total_traffic().total() >> 20,
+            r.total_cycles() as f64 / base_cycles as f64,
+        ));
+    }
+
+    // Per-(spm, model) winner: smallest cycle count, first listed wins ties.
+    let mut best = String::new();
+    for b in (0..points.len()).step_by(block.max(1)) {
+        let win = (b..b + block)
+            .min_by_key(|&i| (reports[i].total_cycles(), i))
+            .unwrap();
+        let (mib, mi, technique) = points[win];
+        if !best.is_empty() {
+            best.push(',');
+        }
+        best.push_str(&format!(
+            "{{\"spm_mib\":{},\"model\":\"{}\",\"technique\":\"{}\",\"cycles\":{}}}",
+            mib,
+            models[mi].name,
+            technique.label(),
+            reports[win].total_cycles(),
+        ));
+    }
+    let cache = sim_cache_stats();
+    let summary = format!(
+        "{{\"config\":\"{}\",\"grid_points\":{},\"spm_rungs\":{},\"models\":{},\"techniques\":{},\"wall_seconds\":{:.6},\"engine_runs\":{},\"analytic_runs\":{},\"cache_hits\":{},\"cache_misses\":{},\"best\":[{best}]}}",
+        config.name,
+        points.len(),
+        spm_ladder.len(),
+        models.len(),
+        techniques.len(),
+        wall,
+        engine_run_count() - runs_before,
+        analytic_run_count() - analytic_before,
+        cache.hits - cache_before.hits,
+        cache.misses - cache_before.misses,
+    );
+
+    match out_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(&dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create '{}': {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            for (name, contents) in [("sweep.csv", &csv), ("summary.json", &summary)] {
+                if let Err(e) = std::fs::write(dir.join(name), contents) {
+                    eprintln!("cannot write '{}': {e}", dir.join(name).display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!(
+                "{} grid points -> {}/{{sweep.csv,summary.json}} in {:.2}s",
+                points.len(),
+                dir.display(),
+                wall
+            );
+        }
+        None => {
+            print!("{csv}");
+            println!("{summary}");
+        }
     }
     ExitCode::SUCCESS
 }
@@ -413,6 +637,41 @@ fn perf_sweep(
         cache_misses: cache.misses - cache_before.misses,
     };
     (reports, timing)
+}
+
+/// One arm of the analytic-acceptance measurement: the full suite under
+/// data partitioning across an SPM ladder, memoization disabled so every
+/// layer is recomputed from scratch (a true cold-cache run — the
+/// process-wide memo cache never serves a hit). Returns the reports, the
+/// wall-clock seconds, and the engine/analytic run counts attributed to
+/// the arm.
+fn perf_ladder_arm(
+    models: &[Model],
+    ladder: &[NpuConfig],
+    options: &SimOptions,
+) -> (Vec<ModelReport>, f64, u64, u64) {
+    let runs_before = engine_run_count();
+    let analytic_before = analytic_run_count();
+    let (reports, wall) = measure(|| {
+        let mut out = Vec::with_capacity(ladder.len() * models.len());
+        for rung in ladder {
+            for m in models {
+                out.push(simulate_model_with(
+                    m,
+                    rung,
+                    Technique::DataPartitioning,
+                    options,
+                ));
+            }
+        }
+        out
+    });
+    (
+        reports,
+        wall,
+        engine_run_count() - runs_before,
+        analytic_run_count() - analytic_before,
+    )
 }
 
 /// Bit-exact comparison of two sweep results: every layer's forward and
@@ -471,6 +730,51 @@ fn cmd_perf(which: &str) -> ExitCode {
             if identical { "yes" } else { "NO" },
             t_seq.wall_seconds / t_cold.wall_seconds,
             t_seq.wall_seconds / t_warm.wall_seconds,
+        );
+
+        // The analytic fast path's acceptance gate: a cold-cache full-zoo
+        // sweep over an SPM capacity ladder (0.5×/1×/2× of the config's
+        // SPM), engine candidate evaluation vs analytic. Memoization is
+        // off in BOTH arms, so the comparison is pure candidate-evaluation
+        // cost; everything else (pool, pruning) is identical.
+        println!(
+            "== {} : analytic fast path, cold-cache SPM-ladder sweep ==",
+            config.name
+        );
+        let ladder: Vec<NpuConfig> = [1u64, 2, 4]
+            .iter()
+            .map(|&num| {
+                config
+                    .clone()
+                    .with_spm_bytes((config.spm_bytes * num / 2).max(1))
+            })
+            .collect();
+        let engine_opts = SimOptions {
+            analytic_fast_path: false,
+            memoize: false,
+            ..SimOptions::optimized()
+        };
+        let fast_opts = SimOptions {
+            memoize: false,
+            ..SimOptions::optimized()
+        };
+        let (eng, eng_wall, eng_runs, _) = perf_ladder_arm(&models, &ladder, &engine_opts);
+        let (fast, fast_wall, fast_eng_runs, fast_analytic) =
+            perf_ladder_arm(&models, &ladder, &fast_opts);
+        let identical = reports_identical(&eng, &fast);
+        ok &= identical;
+        println!(
+            "engine-path   {:>8.3}s  ({} engine runs)",
+            eng_wall, eng_runs
+        );
+        println!(
+            "analytic-path {:>8.3}s  ({} engine + {} analytic runs)",
+            fast_wall, fast_eng_runs, fast_analytic
+        );
+        println!(
+            "bit-identical: {}   analytic speedup {:.1}x (target >= 10x)",
+            if identical { "yes" } else { "NO" },
+            eng_wall / fast_wall,
         );
     }
     if ok {

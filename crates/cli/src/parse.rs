@@ -92,6 +92,34 @@ pub fn parse_technique(arg: &str) -> Option<Technique> {
     }
 }
 
+/// Parse a comma-separated SPM ladder in MiB (e.g. `3,6,12,24`); every
+/// rung must be a positive integer.
+pub fn parse_spm_ladder(arg: &str) -> Option<Vec<u64>> {
+    let rungs: Vec<u64> = arg
+        .split(',')
+        .map(|p| p.trim().parse::<u64>().ok().filter(|&v| v > 0))
+        .collect::<Option<Vec<u64>>>()?;
+    if rungs.is_empty() {
+        None
+    } else {
+        Some(rungs)
+    }
+}
+
+/// Parse a comma-separated technique list (names as in
+/// [`parse_technique`]), e.g. `baseline,rearrangement,data-partitioning`.
+pub fn parse_techniques(arg: &str) -> Option<Vec<Technique>> {
+    let list: Vec<Technique> = arg
+        .split(',')
+        .map(|p| parse_technique(p.trim()))
+        .collect::<Option<Vec<Technique>>>()?;
+    if list.is_empty() {
+        None
+    } else {
+        Some(list)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +181,20 @@ mod tests {
             Some(Technique::DataPartitioning)
         );
         assert!(parse_technique("magic").is_none());
+    }
+
+    #[test]
+    fn parses_spm_ladders_and_technique_lists() {
+        assert_eq!(parse_spm_ladder("3,6,12"), Some(vec![3, 6, 12]));
+        assert_eq!(parse_spm_ladder(" 24 "), Some(vec![24]));
+        assert!(parse_spm_ladder("3,0").is_none());
+        assert!(parse_spm_ladder("3,x").is_none());
+        assert!(parse_spm_ladder("").is_none());
+        assert_eq!(
+            parse_techniques("baseline, data-partitioning"),
+            Some(vec![Technique::Baseline, Technique::DataPartitioning])
+        );
+        assert!(parse_techniques("baseline,magic").is_none());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! reproducible from its printed seed: `igo-sim audit --seed S --seeds 1`
 //! re-runs exactly the failing case.
 
+use crate::bound::backward_emission_bound;
 use crate::exec::{execute_backward, max_abs_diff, DenseLayer};
 use crate::partition::{partition_backward_ex, PartitionScheme};
 use crate::pipeline::{
@@ -43,11 +44,11 @@ use crate::select::ALMOST_SQUARE_THRESHOLD;
 use crate::technique::Technique;
 use crate::tiling::TilePolicy;
 use igo_npu_sim::{
-    run_multicore, run_sequential_partitions, AccessKind, DramConfig, Engine, EngineScratch,
-    EventLog, NpuConfig, OptCache, PeArray, Schedule, ScheduleOp, SimReport, TileKey, TraceEvent,
-    Traffic,
+    run_multicore, run_sequential_partitions, AccessKind, AnalyticCollector, AnalyticScratch,
+    DramConfig, Engine, EngineScratch, EventLog, Exactness, NpuConfig, OptCache, PeArray, Schedule,
+    ScheduleOp, SimReport, TileKey, TraceEvent, Traffic,
 };
-use igo_tensor::{GemmShape, SplitMix64, TileCoord};
+use igo_tensor::{GemmShape, SplitMix64, TensorClass, TileCoord};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
@@ -130,6 +131,7 @@ impl AuditCase {
             memoize: rng.range_u64(0, 2) == 1,
             prune: rng.range_u64(0, 2) == 1,
             workers: rng.range_u64(0, 4) as usize,
+            analytic_fast_path: rng.range_u64(0, 2) == 1,
         };
         Self {
             seed,
@@ -326,6 +328,13 @@ pub fn audit_case(case: &AuditCase) -> (Vec<Violation>, u64) {
     checks += 1;
     violations.extend(check_merge_emission(case, ref_decision.order));
 
+    // Analytic engine: the collector replay must be bit-identical to the
+    // cycle engine (the `Exact` tier), the closed-form emission bound must
+    // be admissible field by field (the `LowerBound` tier), and the
+    // schedule-level pruning bound must never exceed the simulated cycles.
+    checks += 1;
+    violations.extend(check_analytic(case, ref_decision.order));
+
     // Conservation: rebuild the decided execution, re-run it through the
     // public machine model, and shadow-replay every schedule.
     checks += 1;
@@ -372,6 +381,124 @@ fn spec_algorithm1(gemm: GemmShape, config: &NpuConfig) -> BackwardOrder {
     } else {
         BackwardOrder::DxMajor
     }
+}
+
+/// Cross-check the analytic engine against the cycle engine on the
+/// decided order's unpartitioned emission:
+///
+/// * the [`AnalyticCollector`] replay must be tagged [`Exactness::Exact`]
+///   and reproduce [`Engine::run`]'s [`SimReport`] bit for bit (including
+///   the float-derived cycle counts);
+/// * [`Engine::lower_bound`] (the pruning bound) must not exceed the
+///   simulated cycles;
+/// * the closed-form [`backward_emission_bound`] must be admissible field
+///   by field: compute cycles, op/MAC counts and SPM bytes exact; cycles,
+///   memory cycles, misses and per-class traffic never above the engine's;
+///   hits never below.
+fn check_analytic(case: &AuditCase, order: BackwardOrder) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let fail = |check: &'static str, detail: String| Violation {
+        seed: case.seed,
+        check,
+        detail,
+    };
+    let policy = TilePolicy::for_config(&case.config);
+    let mut proto = Schedule::new("audit");
+    let tensors = LayerTensors::register(&mut proto, "l");
+    let builder = BackwardBuilder::new(case.gemm, policy, tensors).with_ifmap_density(case.density);
+    let mut s = proto.fork("audit-analytic");
+    builder.emit(order, case.is_first, &mut s);
+    let engine = Engine::new(&case.config);
+    let report = engine.run(&s);
+
+    let mut collector = AnalyticCollector::new();
+    builder.register_grids(&mut collector);
+    builder.emit(order, case.is_first, &mut collector);
+    let replayed = collector.replay(&engine, &mut AnalyticScratch::new());
+    if replayed.exactness != Exactness::Exact {
+        violations.push(fail(
+            "analytic-exactness",
+            format!("replay tagged {:?}, expected Exact", replayed.exactness),
+        ));
+    }
+    if replayed.report != report {
+        violations.push(fail(
+            "analytic-replay",
+            format!("replay {:?} != engine {report:?}", replayed.report),
+        ));
+    }
+
+    if engine.lower_bound(&s) > report.cycles {
+        violations.push(fail(
+            "lower-bound-admissible",
+            format!(
+                "Engine::lower_bound {} exceeds simulated cycles {}",
+                engine.lower_bound(&s),
+                report.cycles
+            ),
+        ));
+    }
+
+    let bound = backward_emission_bound(&builder, order, case.is_first, &engine)
+        .finish(&engine)
+        .report;
+    let exact = [
+        (
+            "compute_cycles",
+            bound.compute_cycles,
+            report.compute_cycles,
+        ),
+        ("gemm_ops", bound.gemm_ops, report.gemm_ops),
+        ("macs", bound.macs, report.macs),
+        (
+            "spm_bytes_touched",
+            bound.spm_bytes_touched,
+            report.spm_bytes_touched,
+        ),
+    ];
+    for (name, got, want) in exact {
+        if got != want {
+            violations.push(fail(
+                "analytic-bound-exact-field",
+                format!("bound {name} {got} != engine {want}"),
+            ));
+        }
+    }
+    let mut at_most = vec![
+        ("cycles", bound.cycles, report.cycles),
+        ("mem_cycles", bound.mem_cycles, report.mem_cycles),
+        ("spm_misses", bound.spm_misses, report.spm_misses),
+    ];
+    for class in TensorClass::ALL {
+        at_most.push((
+            class.label(),
+            bound.traffic.read(class),
+            report.traffic.read(class),
+        ));
+        at_most.push((
+            class.label(),
+            bound.traffic.write(class),
+            report.traffic.write(class),
+        ));
+    }
+    for (name, got, limit) in at_most {
+        if got > limit {
+            violations.push(fail(
+                "analytic-bound-admissible",
+                format!("bound {name} {got} exceeds engine {limit}"),
+            ));
+        }
+    }
+    if bound.spm_hits < report.spm_hits {
+        violations.push(fail(
+            "analytic-bound-admissible",
+            format!(
+                "bound hits {} below engine hits {}",
+                bound.spm_hits, report.spm_hits
+            ),
+        ));
+    }
+    violations
 }
 
 /// Emit the unpartitioned fused stream for `order` and verify it is a

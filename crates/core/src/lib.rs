@@ -33,6 +33,7 @@
 //! ```
 
 pub mod audit;
+pub mod bound;
 pub mod exec;
 pub mod observe;
 pub mod parallel;
@@ -50,9 +51,15 @@ pub use audit::{
     audit_case, check_merge_schedule, check_report_conservation, run_audit, AuditCase,
     AuditSummary, Violation,
 };
+pub use bound::{
+    backward_emission_bound, multicore_candidate_bound, plain_candidate_bound,
+    sequential_candidate_bound,
+};
 pub use exec::{execute_backward, execute_partitioned, DenseLayer, ExecutedGradients};
 pub use observe::{trace_layer_backward, trace_model, CoreTrace, LayerTrace};
-pub use parallel::{parallel_map, parallel_map_with, parallel_map_workers};
+pub use parallel::{
+    default_workers, parallel_map, parallel_map_with, parallel_map_workers, THREADS_ENV,
+};
 pub use partition::PartitionScheme;
 pub use pipeline::{
     rearranged_order, simulate_layer_backward, simulate_layer_backward_ex,
@@ -66,6 +73,9 @@ pub use report_io::{
 };
 pub use schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
 pub use select::select_order;
-pub use simcache::{sim_cache_len, sim_cache_stats, CacheStats, ConfigFingerprint};
+pub use simcache::{
+    set_sim_cache_cap, sim_cache_cap, sim_cache_len, sim_cache_stats, CacheStats,
+    ConfigFingerprint, CACHE_CAP_ENV, DEFAULT_CACHE_CAP,
+};
 pub use technique::Technique;
 pub use tiling::TilePolicy;

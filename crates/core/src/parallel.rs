@@ -56,9 +56,30 @@ where
     parallel_map_workers(items, 0, init, f)
 }
 
-/// [`parallel_map_with`] with an explicit worker count; `0` means "one per
-/// hardware thread". Forcing more workers than hardware threads is how the
-/// tests drive the pool's cross-thread determinism even on small machines.
+/// Environment variable overriding the default worker-pool size (used when
+/// the caller passes `workers == 0`; see [`default_workers`]).
+pub const THREADS_ENV: &str = "IGO_SIM_THREADS";
+
+/// The worker count a `workers == 0` pool resolves to: the
+/// `IGO_SIM_THREADS` environment override when set to a positive integer,
+/// else one worker per hardware thread. Thread count never affects results
+/// (the pool reduces in item order), only wall-clock time.
+pub fn default_workers() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// [`parallel_map_with`] with an explicit worker count; `0` means
+/// [`default_workers`] (the `IGO_SIM_THREADS` override or one per hardware
+/// thread). Forcing more workers than hardware threads is how the tests
+/// drive the pool's cross-thread determinism even on small machines.
 pub fn parallel_map_workers<S, T, R>(
     items: &[T],
     workers: usize,
@@ -70,9 +91,7 @@ where
     R: Send,
 {
     let workers = if workers == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        default_workers()
     } else {
         workers
     }
@@ -176,5 +195,27 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(parallel_map(&empty, |&x: &u32| x).is_empty());
         assert_eq!(parallel_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        // The determinism contract behind `--jobs` / `IGO_SIM_THREADS`:
+        // any pool size yields the same result vector.
+        let items: Vec<u64> = (0..137).collect();
+        let run = |workers| {
+            parallel_map_workers(
+                &items,
+                workers,
+                || 0u64,
+                |state, &x| {
+                    *state = state.wrapping_mul(6364136223846793005).wrapping_add(x);
+                    x * x + 7
+                },
+            )
+        };
+        let want = run(1);
+        for workers in [2, 3, 5, 8, 16] {
+            assert_eq!(run(workers), want, "worker count {workers} diverged");
+        }
     }
 }

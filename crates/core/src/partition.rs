@@ -19,8 +19,8 @@
 
 use crate::schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
 use crate::tiling::TilePolicy;
-use igo_npu_sim::{Schedule, StreamOp};
-use igo_tensor::{GemmDim, GemmShape, TensorClass};
+use igo_npu_sim::{Schedule, StreamOp, TensorId};
+use igo_tensor::{DataType, GemmDim, GemmShape, TensorClass};
 /// The three partitioning schemes of Figure 11.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PartitionScheme {
@@ -127,55 +127,105 @@ pub fn partition_backward_ex(
     order: BackwardOrder,
     is_first: bool,
 ) -> PartitionedBackward {
-    assert!(parts > 0, "need at least one partition");
-    let sub_gemms = gemm.split(scheme.split_dim(), parts);
-    let actual_parts = sub_gemms.len() as u64;
-    let dtype = policy.dtype;
-
     // Phase 1: register every partition's split tensors in one master
     // fork, so all partition schedules share a single complete tensor
-    // table (required for sequential chaining). Split tensors get fresh
-    // per-partition identities; the shared tensor keeps the parent id
-    // (its grid is untouched by the split, so parent coordinates remain
-    // valid).
+    // table (required for sequential chaining).
     let mut master = proto.fork(format!("{}-master", scheme.label()));
-    let part_tensors: Vec<LayerTensors> = (0..sub_gemms.len())
-        .map(|p| match scheme {
-            PartitionScheme::WeightSharing => LayerTensors {
-                x: master.add_tensor(TensorClass::Ifmap, format!("X[{p}]")),
-                w: tensors.w,
-                y: master.add_tensor(TensorClass::Ofmap, format!("Y[{p}]")),
-                dx: master.add_tensor(TensorClass::InGrad, format!("dX[{p}]")),
-                dw: master.add_tensor(TensorClass::WGrad, format!("dW_part[{p}]")),
-                dy: master.add_tensor(TensorClass::OutGrad, format!("dY[{p}]")),
-            },
-            PartitionScheme::DySharing => LayerTensors {
-                x: tensors.x,
-                w: master.add_tensor(TensorClass::Weight, format!("W[{p}]")),
-                y: master.add_tensor(TensorClass::Ofmap, format!("Y[{p}]")),
-                dx: master.add_tensor(TensorClass::InGrad, format!("dX_part[{p}]")),
-                dw: master.add_tensor(TensorClass::WGrad, format!("dW[{p}]")),
-                dy: master.add_tensor(TensorClass::OutGrad, format!("dY[{p}]")),
-            },
-            PartitionScheme::IfmapSharing => LayerTensors {
-                x: master.add_tensor(TensorClass::Ifmap, format!("X[{p}]")),
-                w: master.add_tensor(TensorClass::Weight, format!("W[{p}]")),
-                y: master.add_tensor(TensorClass::Ofmap, format!("Y[{p}]")),
-                dx: master.add_tensor(TensorClass::InGrad, format!("dX[{p}]")),
-                dw: master.add_tensor(TensorClass::WGrad, format!("dW[{p}]")),
-                dy: tensors.dy,
-            },
-        })
-        .collect();
+    let plan = plan_partition_backward(
+        &mut |class, name| master.add_tensor(class, name),
+        tensors,
+        gemm,
+        ifmap_density,
+        policy.dtype,
+        scheme,
+        parts,
+        is_first,
+    );
 
     // Phase 2: emit each partition into its own fork of the master.
-    let mut schedules = Vec::with_capacity(sub_gemms.len());
-    for (p, (sub, t)) in sub_gemms.iter().zip(&part_tensors).enumerate() {
+    let mut schedules = Vec::with_capacity(plan.sub_gemms.len());
+    for (p, (sub, t)) in plan.sub_gemms.iter().zip(&plan.part_tensors).enumerate() {
         let mut s = master.fork(format!("{}[{p}]", scheme.label()));
         let builder = BackwardBuilder::new(*sub, policy, *t).with_ifmap_density(ifmap_density);
         builder.emit(order, is_first, &mut s);
         schedules.push(s);
     }
+
+    PartitionedBackward {
+        schedules,
+        reduction: plan.reduction,
+        scheme,
+        part_tensors: plan.part_tensors,
+        sub_gemms: plan.sub_gemms,
+    }
+}
+
+/// A partitioned backward pass before any schedule is emitted: the
+/// per-partition sub-GEMMs and tensor bindings plus the reduction cost.
+/// This is all the analytic fast path needs — it emits each partition
+/// through a [`BackwardBuilder`] into an analytic collector instead of a
+/// [`Schedule`], skipping the tensor-table forks entirely.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// The per-partition sub-GEMMs, in order.
+    pub sub_gemms: Vec<GemmShape>,
+    /// Tensor bindings of each partition (shared roles keep parent ids).
+    pub part_tensors: Vec<LayerTensors>,
+    /// Cross-partition reduction cost, if the scheme needs one.
+    pub reduction: Option<StreamOp>,
+}
+
+/// Split `gemm` under `scheme` and bind each partition's tensors, minting
+/// fresh ids through `alloc`. Split tensors get fresh per-partition
+/// identities; the shared tensor keeps the parent id (its grid is
+/// untouched by the split, so parent coordinates remain valid).
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_partition_backward(
+    alloc: &mut dyn FnMut(TensorClass, String) -> TensorId,
+    tensors: LayerTensors,
+    gemm: GemmShape,
+    ifmap_density: f64,
+    dtype: DataType,
+    scheme: PartitionScheme,
+    parts: u64,
+    is_first: bool,
+) -> PartitionPlan {
+    assert!(parts > 0, "need at least one partition");
+    let sub_gemms = gemm.split(scheme.split_dim(), parts);
+    let actual_parts = sub_gemms.len() as u64;
+
+    let part_tensors: Vec<LayerTensors> = (0..sub_gemms.len())
+        .map(|p| match scheme {
+            PartitionScheme::WeightSharing => LayerTensors {
+                x: alloc(TensorClass::Ifmap, format!("X[{p}]")),
+                w: tensors.w,
+                y: alloc(TensorClass::Ofmap, format!("Y[{p}]")),
+                dx: alloc(TensorClass::InGrad, format!("dX[{p}]")),
+                dw: alloc(TensorClass::WGrad, format!("dW_part[{p}]")),
+                dy: alloc(TensorClass::OutGrad, format!("dY[{p}]")),
+            },
+            PartitionScheme::DySharing => LayerTensors {
+                x: tensors.x,
+                w: alloc(TensorClass::Weight, format!("W[{p}]")),
+                y: alloc(TensorClass::Ofmap, format!("Y[{p}]")),
+                dx: alloc(TensorClass::InGrad, format!("dX_part[{p}]")),
+                dw: alloc(TensorClass::WGrad, format!("dW[{p}]")),
+                dy: alloc(TensorClass::OutGrad, format!("dY[{p}]")),
+            },
+            PartitionScheme::IfmapSharing => LayerTensors {
+                x: alloc(TensorClass::Ifmap, format!("X[{p}]")),
+                w: alloc(TensorClass::Weight, format!("W[{p}]")),
+                y: alloc(TensorClass::Ofmap, format!("Y[{p}]")),
+                dx: alloc(TensorClass::InGrad, format!("dX[{p}]")),
+                dw: alloc(TensorClass::WGrad, format!("dW[{p}]")),
+                dy: tensors.dy,
+            },
+        })
+        .collect();
 
     // Reduction: read P partial tensors, write the combined one.
     let reduction = match scheme {
@@ -200,12 +250,10 @@ pub fn partition_backward_ex(
         _ => None,
     };
 
-    PartitionedBackward {
-        schedules,
-        reduction,
-        scheme,
-        part_tensors,
+    PartitionPlan {
         sub_gemms,
+        part_tensors,
+        reduction,
     }
 }
 
@@ -232,19 +280,13 @@ pub fn partition_forward_ex(
     policy: TilePolicy,
     parts: u64,
 ) -> Vec<Schedule> {
-    assert!(parts > 0, "need at least one partition");
-    let sub_gemms = gemm.split(GemmDim::M, parts);
     let mut master = proto.fork("fwd-master");
-    let part_tensors: Vec<LayerTensors> = (0..sub_gemms.len())
-        .map(|p| LayerTensors {
-            x: master.add_tensor(TensorClass::Ifmap, format!("X[{p}]")),
-            w: tensors.w,
-            y: master.add_tensor(TensorClass::Ofmap, format!("Y[{p}]")),
-            dx: tensors.dx,
-            dw: tensors.dw,
-            dy: tensors.dy,
-        })
-        .collect();
+    let (sub_gemms, part_tensors) = plan_partition_forward(
+        &mut |class, name| master.add_tensor(class, name),
+        tensors,
+        gemm,
+        parts,
+    );
     let mut schedules = Vec::with_capacity(sub_gemms.len());
     for (p, (sub, t)) in sub_gemms.iter().zip(&part_tensors).enumerate() {
         let mut s = master.fork(format!("fwd[{p}]"));
@@ -252,6 +294,34 @@ pub fn partition_forward_ex(
         schedules.push(s);
     }
     schedules
+}
+
+/// The planning half of [`partition_forward_ex`]: batch-split sub-GEMMs
+/// and per-partition tensor bindings (`W` shared, gradients untouched),
+/// with ids minted through `alloc`.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn plan_partition_forward(
+    alloc: &mut dyn FnMut(TensorClass, String) -> TensorId,
+    tensors: LayerTensors,
+    gemm: GemmShape,
+    parts: u64,
+) -> (Vec<GemmShape>, Vec<LayerTensors>) {
+    assert!(parts > 0, "need at least one partition");
+    let sub_gemms = gemm.split(GemmDim::M, parts);
+    let part_tensors: Vec<LayerTensors> = (0..sub_gemms.len())
+        .map(|p| LayerTensors {
+            x: alloc(TensorClass::Ifmap, format!("X[{p}]")),
+            w: tensors.w,
+            y: alloc(TensorClass::Ofmap, format!("Y[{p}]")),
+            dx: tensors.dx,
+            dw: tensors.dw,
+            dy: tensors.dy,
+        })
+        .collect();
+    (sub_gemms, part_tensors)
 }
 
 #[cfg(test)]

@@ -33,16 +33,22 @@
 //!   skipped, which cannot change the winner because a pruned candidate's
 //!   true cycle count is at least its bound.
 
+use crate::bound::{multicore_candidate_bound, plain_candidate_bound, sequential_candidate_bound};
 use crate::parallel::parallel_map_workers;
-use crate::partition::{partition_backward_ex, partition_forward_ex, PartitionScheme};
+use crate::partition::{
+    partition_backward_ex, partition_forward_ex, plan_partition_backward, plan_partition_forward,
+    PartitionScheme,
+};
 use crate::schedule::{forward_schedule, BackwardBuilder, BackwardOrder, LayerTensors};
 use crate::select::select_order;
 use crate::simcache;
 use crate::technique::Technique;
 use crate::tiling::TilePolicy;
 use igo_npu_sim::{
-    reduction_cycles, run_multicore_with_scratch, run_sequential_partitions_with_scratch, Engine,
-    EngineScratch, NpuConfig, Schedule, SimReport, StreamOp, Traffic,
+    reduction_cycles, replay_multicore, replay_multicore_bounded,
+    replay_sequential_partitions_bounded, run_multicore_with_scratch,
+    run_sequential_partitions_with_scratch, AnalyticCollector, AnalyticScratch, Engine,
+    EngineScratch, NpuConfig, Schedule, SimReport, StreamOp, TensorId, Traffic,
 };
 use igo_tensor::GemmShape;
 use igo_workloads::{Layer, Model};
@@ -69,10 +75,16 @@ pub struct SimOptions {
     pub memoize: bool,
     /// Skip candidates whose analytical lower bound proves them dominated.
     pub prune: bool,
-    /// Worker-pool size; `0` means one worker per hardware thread. Only
-    /// meaningful when `parallel` is set (tests force a pool larger than
-    /// the machine to exercise cross-thread determinism).
+    /// Worker-pool size; `0` means one worker per hardware thread (or the
+    /// `IGO_SIM_THREADS` override). Only meaningful when `parallel` is set
+    /// (tests force a pool larger than the machine to exercise
+    /// cross-thread determinism).
     pub workers: usize,
+    /// Evaluate layers through the analytic engine: candidate streams are
+    /// replayed allocation-free ([`AnalyticCollector::replay`], provably
+    /// bit-identical to [`Engine::run`]) and pruning uses the closed-form
+    /// bounds of [`crate::bound`] instead of per-schedule scans.
+    pub analytic_fast_path: bool,
 }
 
 impl SimOptions {
@@ -83,16 +95,19 @@ impl SimOptions {
             memoize: true,
             prune: true,
             workers: 0,
+            analytic_fast_path: true,
         }
     }
 
-    /// The plain sequential path: no pool, no cache, no pruning.
+    /// The plain sequential path: no pool, no cache, no pruning, cycle
+    /// engine only.
     pub const fn sequential() -> Self {
         Self {
             parallel: false,
             memoize: false,
             prune: false,
             workers: 0,
+            analytic_fast_path: false,
         }
     }
 }
@@ -255,6 +270,192 @@ fn select_best(
     (best, candidates[best_idx].decision)
 }
 
+// ---------------------------------------------------------------------------
+// Analytic fast path
+// ---------------------------------------------------------------------------
+
+/// Tensor ids for a fast-path layer. Matches the id sequence
+/// [`LayerTensors::register`] would produce on a fresh schedule, so replayed
+/// streams are structurally identical to the engine path's (tensor ids feed
+/// the replacement tie-break).
+fn fast_layer_tensors() -> (LayerTensors, u32) {
+    (
+        LayerTensors {
+            x: TensorId::from_raw(0),
+            w: TensorId::from_raw(1),
+            y: TensorId::from_raw(2),
+            dx: TensorId::from_raw(3),
+            dw: TensorId::from_raw(4),
+            dy: TensorId::from_raw(5),
+        },
+        6,
+    )
+}
+
+/// Reusable per-worker state for fast-path candidate evaluation.
+#[derive(Default)]
+struct FastScratch {
+    collectors: Vec<AnalyticCollector>,
+    replay: AnalyticScratch,
+}
+
+/// The first `n` collectors of `pool`, cleared, growing the pool on demand.
+fn cleared_collectors(pool: &mut Vec<AnalyticCollector>, n: usize) -> &mut [AnalyticCollector] {
+    while pool.len() < n {
+        pool.push(AnalyticCollector::new());
+    }
+    let slice = &mut pool[..n];
+    for c in slice.iter_mut() {
+        c.clear();
+    }
+    slice
+}
+
+/// A backward candidate held as unemitted builders plus a precomputed
+/// closed-form bound. `run` emits into [`AnalyticCollector`]s and replays —
+/// bit-identical to running the equivalent [`Candidate`] through the engine,
+/// without materializing any [`Schedule`].
+struct FastCandidate {
+    decision: LayerDecision,
+    /// Closed-form admissible bound on `run(..).cycles`
+    /// (see [`crate::bound`]).
+    bound: u64,
+    exec: FastExec,
+}
+
+enum FastExec {
+    /// One emission stream on one core.
+    Single(Box<BackwardBuilder>),
+    /// Partition streams chained back-to-back (no barrier) on a single
+    /// core, then a reduction.
+    Sequential {
+        builders: Vec<BackwardBuilder>,
+        reduction: Option<StreamOp>,
+    },
+    /// One emission stream per core, then a reduction.
+    Multicore {
+        builders: Vec<BackwardBuilder>,
+        reduction: Option<StreamOp>,
+    },
+}
+
+thread_local! {
+    /// Per-thread fast-path working memory, reused across layers and
+    /// candidate evaluations so the collector and replay buffers are
+    /// allocated once per thread instead of regrown per layer.
+    static FAST_SCRATCH: std::cell::RefCell<FastScratch> =
+        std::cell::RefCell::new(FastScratch::default());
+}
+
+/// Run `f` with this thread's reusable [`FastScratch`].
+fn with_fast_scratch<R>(f: impl FnOnce(&mut FastScratch) -> R) -> R {
+    FAST_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+impl FastCandidate {
+    /// Emit and replay this candidate. With a `cutoff`, returns `None` as
+    /// soon as the replay proves the candidate must exceed `cutoff` cycles
+    /// (see [`AnalyticCollector::replay_bounded`]); a completed run is
+    /// bit-identical to the equivalent engine-path [`Candidate::run`].
+    fn run_bounded(
+        &self,
+        engine: &Engine,
+        config: &NpuConfig,
+        is_first: bool,
+        cutoff: Option<u64>,
+        s: &mut FastScratch,
+    ) -> Option<SimReport> {
+        let order = self.decision.order;
+        let FastScratch { collectors, replay } = s;
+        match &self.exec {
+            FastExec::Single(builder) => {
+                let c = &mut cleared_collectors(collectors, 1)[0];
+                builder.register_grids(c);
+                builder.emit(order, is_first, c);
+                c.replay_bounded(engine, replay, cutoff).map(|r| r.report)
+            }
+            FastExec::Sequential {
+                builders,
+                reduction,
+            } => {
+                // One collector: segments concatenate with no barrier,
+                // mirroring `Schedule::append_compatible`.
+                let c = &mut cleared_collectors(collectors, 1)[0];
+                for b in builders {
+                    b.register_grids(c);
+                }
+                for b in builders {
+                    b.emit(order, is_first, c);
+                }
+                replay_sequential_partitions_bounded(config, c, *reduction, replay, cutoff)
+                    .map(|r| r.combined())
+            }
+            FastExec::Multicore {
+                builders,
+                reduction,
+            } => {
+                let cores = cleared_collectors(collectors, builders.len());
+                for (b, c) in builders.iter().zip(cores.iter_mut()) {
+                    b.register_grids(c);
+                    b.emit(order, is_first, c);
+                }
+                replay_multicore_bounded(config, cores, *reduction, replay, cutoff)
+                    .map(|r| r.combined())
+            }
+        }
+    }
+}
+
+/// [`select_best`] over fast-path candidates: the same lexicographic
+/// `(cycles, index)` winner, reached with strictly less work. Candidates
+/// are evaluated in ascending `(bound, index)` order against a running
+/// best: any candidate whose closed-form bound exceeds the best cycles so
+/// far is skipped outright (its true cycles can only be larger), and the
+/// rest replay under a cutoff that aborts them mid-stream once they
+/// provably exceed the running best. Neither rule can change the winner —
+/// a skipped or aborted candidate's true cycle count *strictly* exceeds
+/// the running best, so it loses even the index tie-break — and the
+/// running best can only tighten the engine path's static
+/// reference-cutoff rule, never loosen it.
+fn select_best_fast(
+    candidates: &[FastCandidate],
+    config: &NpuConfig,
+    is_first: bool,
+    options: &SimOptions,
+) -> (SimReport, LayerDecision) {
+    assert!(!candidates.is_empty(), "no candidates to select from");
+    let engine = Engine::new(config);
+    let mut eval_order: Vec<usize> = (0..candidates.len()).collect();
+    if options.prune {
+        eval_order.sort_by_key(|&i| (candidates[i].bound, i));
+    }
+    with_fast_scratch(|s| {
+        let mut best: Option<(usize, SimReport)> = None;
+        for &i in &eval_order {
+            let cutoff = match &best {
+                Some((_, b)) if options.prune => {
+                    if candidates[i].bound > b.cycles {
+                        continue;
+                    }
+                    Some(b.cycles)
+                }
+                _ => None,
+            };
+            if let Some(r) = candidates[i].run_bounded(&engine, config, is_first, cutoff, s) {
+                let wins = match &best {
+                    None => true,
+                    Some((bi, b)) => (r.cycles, i) < (b.cycles, *bi),
+                };
+                if wins {
+                    best = Some((i, r));
+                }
+            }
+        }
+        let (best_idx, report) = best.expect("the first evaluation has no cutoff");
+        (report, candidates[best_idx].decision)
+    })
+}
+
 /// Simulate one layer's forward pass on `config` (dense layer: ifmap
 /// density 1).
 pub fn simulate_layer_forward(gemm: GemmShape, config: &NpuConfig) -> SimReport {
@@ -280,16 +481,48 @@ pub fn simulate_layer_forward_with(
         }
     }
     let policy = TilePolicy::for_config(config);
-    let mut proto = Schedule::new("fwd");
-    let tensors = LayerTensors::register(&mut proto, "l");
-    let report = if config.cores == 1 {
-        let mut s = proto.fork("fwd");
-        forward_schedule(gemm, policy, tensors, density, &mut s);
-        Engine::new(config).run(&s)
+    let report = if options.analytic_fast_path {
+        let (tensors, first_free_id) = fast_layer_tensors();
+        let engine = Engine::new(config);
+        with_fast_scratch(|scratch| {
+            let FastScratch { collectors, replay } = scratch;
+            if config.cores == 1 {
+                let c = &mut cleared_collectors(collectors, 1)[0];
+                BackwardBuilder::new(gemm, policy, tensors).register_grids(c);
+                forward_schedule(gemm, policy, tensors, density, c);
+                c.replay(&engine, replay).report
+            } else {
+                let mut next = first_free_id;
+                let (sub_gemms, part_tensors) = plan_partition_forward(
+                    &mut |_class, _name| {
+                        let id = TensorId::from_raw(next);
+                        next += 1;
+                        id
+                    },
+                    tensors,
+                    gemm,
+                    config.cores as u64,
+                );
+                let cores = cleared_collectors(collectors, sub_gemms.len());
+                for ((sub, t), c) in sub_gemms.iter().zip(&part_tensors).zip(cores.iter_mut()) {
+                    BackwardBuilder::new(*sub, policy, *t).register_grids(c);
+                    forward_schedule(*sub, policy, *t, density, c);
+                }
+                replay_multicore(config, cores, None, replay).combined()
+            }
+        })
     } else {
-        let parts =
-            partition_forward_ex(&proto, tensors, gemm, density, policy, config.cores as u64);
-        run_multicore_with_scratch(config, &parts, None, &mut EngineScratch::new()).combined()
+        let mut proto = Schedule::new("fwd");
+        let tensors = LayerTensors::register(&mut proto, "l");
+        if config.cores == 1 {
+            let mut s = proto.fork("fwd");
+            forward_schedule(gemm, policy, tensors, density, &mut s);
+            Engine::new(config).run(&s)
+        } else {
+            let parts =
+                partition_forward_ex(&proto, tensors, gemm, density, policy, config.cores as u64);
+            run_multicore_with_scratch(config, &parts, None, &mut EngineScratch::new()).combined()
+        }
     };
     if options.memoize {
         simcache::put_forward(gemm, density, config, report);
@@ -343,7 +576,11 @@ pub fn simulate_layer_backward_with(
             return hit;
         }
     }
-    let out = backward_uncached(gemm, density, config, technique, is_first, options);
+    let out = if options.analytic_fast_path {
+        fast_backward_uncached(gemm, density, config, technique, is_first, options)
+    } else {
+        backward_uncached(gemm, density, config, technique, is_first, options)
+    };
     if options.memoize {
         simcache::put_backward(gemm, density, config, technique, is_first, out.0, out.1);
     }
@@ -433,6 +670,201 @@ fn backward_uncached(
             let candidates =
                 partition_candidates(gemm, density, config, is_first, &proto, tensors, policy);
             select_best(&candidates, config, options)
+        }
+    }
+}
+
+/// [`backward_uncached`] on the analytic fast path: the same candidate
+/// sets and selection semantics, but candidates are held as unemitted
+/// [`BackwardBuilder`]s, evaluated by allocation-free replay (bit-identical
+/// to the engine by construction), and pruned with the closed-form bounds
+/// of [`crate::bound`].
+fn fast_backward_uncached(
+    gemm: GemmShape,
+    density: f64,
+    config: &NpuConfig,
+    technique: Technique,
+    is_first: bool,
+    options: &SimOptions,
+) -> (SimReport, LayerDecision) {
+    let policy = TilePolicy::for_config(config);
+    let (tensors, first_free_id) = fast_layer_tensors();
+    let engine = Engine::new(config);
+
+    // A non-partitioned candidate: one stream on a single core, or the
+    // conventional batch (weight-sharing) data parallelism across cores.
+    let plain_candidate = |order: BackwardOrder| -> FastCandidate {
+        let decision = LayerDecision {
+            order,
+            partition: None,
+        };
+        if config.cores == 1 {
+            let builder = BackwardBuilder::new(gemm, policy, tensors).with_ifmap_density(density);
+            let bound = plain_candidate_bound(&builder, order, is_first, &engine);
+            FastCandidate {
+                decision,
+                bound,
+                exec: FastExec::Single(Box::new(builder)),
+            }
+        } else {
+            let parts = config.cores as u64;
+            let scheme = PartitionScheme::WeightSharing;
+            let bound = multicore_candidate_bound(
+                config, &engine, tensors, gemm, density, policy, scheme, parts, order, is_first,
+            );
+            let mut next = first_free_id;
+            let plan = plan_partition_backward(
+                &mut |_class, _name| {
+                    let id = TensorId::from_raw(next);
+                    next += 1;
+                    id
+                },
+                tensors,
+                gemm,
+                density,
+                policy.dtype,
+                scheme,
+                parts,
+                is_first,
+            );
+            let builders = plan
+                .sub_gemms
+                .iter()
+                .zip(&plan.part_tensors)
+                .map(|(sub, t)| BackwardBuilder::new(*sub, policy, *t).with_ifmap_density(density))
+                .collect();
+            FastCandidate {
+                decision,
+                bound,
+                exec: FastExec::Multicore {
+                    builders,
+                    reduction: plan.reduction,
+                },
+            }
+        }
+    };
+
+    let run_one = |c: FastCandidate| -> (SimReport, LayerDecision) {
+        let r = with_fast_scratch(|s| c.run_bounded(&engine, config, is_first, None, s))
+            .expect("unbounded run always completes");
+        (r, c.decision)
+    };
+
+    match technique {
+        Technique::Baseline => run_one(plain_candidate(BackwardOrder::Baseline)),
+        Technique::IdealDyReuse => run_one(plain_candidate(BackwardOrder::IdealDyReuse)),
+        Technique::Interleaving => run_one(plain_candidate(BackwardOrder::Interleaved)),
+        Technique::Rearrangement => run_one(plain_candidate(rearranged_order(gemm, config))),
+        Technique::RearrangementOracle => {
+            let candidates: Vec<FastCandidate> = [
+                BackwardOrder::Interleaved,
+                BackwardOrder::DxMajor,
+                BackwardOrder::DwMajor,
+            ]
+            .into_iter()
+            .map(plain_candidate)
+            .collect();
+            select_best_fast(&candidates, config, is_first, options)
+        }
+        Technique::DataPartitioning => {
+            let mut candidates: Vec<FastCandidate> = Vec::new();
+            let algorithm1 = |g: GemmShape| BackwardOrder::from(select_order(g));
+            if config.cores == 1 {
+                for order in dedup_orders([algorithm1(gemm), BackwardOrder::Baseline]) {
+                    candidates.push(plain_candidate(order));
+                }
+                for scheme in PartitionScheme::ALL {
+                    for parts in SINGLE_CORE_PART_CANDIDATES {
+                        let sub = gemm.split(scheme.split_dim(), parts)[0];
+                        for order in dedup_orders([algorithm1(sub), BackwardOrder::Baseline]) {
+                            let bound = sequential_candidate_bound(
+                                config, &engine, tensors, gemm, density, policy, scheme, parts,
+                                order, is_first,
+                            );
+                            let mut next = first_free_id;
+                            let plan = plan_partition_backward(
+                                &mut |_class, _name| {
+                                    let id = TensorId::from_raw(next);
+                                    next += 1;
+                                    id
+                                },
+                                tensors,
+                                gemm,
+                                density,
+                                policy.dtype,
+                                scheme,
+                                parts,
+                                is_first,
+                            );
+                            let builders: Vec<BackwardBuilder> = plan
+                                .sub_gemms
+                                .iter()
+                                .zip(&plan.part_tensors)
+                                .map(|(s, t)| {
+                                    BackwardBuilder::new(*s, policy, *t).with_ifmap_density(density)
+                                })
+                                .collect();
+                            candidates.push(FastCandidate {
+                                decision: LayerDecision {
+                                    order,
+                                    partition: Some((scheme, builders.len() as u64)),
+                                },
+                                bound,
+                                exec: FastExec::Sequential {
+                                    builders,
+                                    reduction: plan.reduction,
+                                },
+                            });
+                        }
+                    }
+                }
+            } else {
+                let parts = config.cores as u64;
+                for scheme in PartitionScheme::ALL {
+                    let sub = gemm.split(scheme.split_dim(), parts)[0];
+                    for order in dedup_orders([algorithm1(sub), BackwardOrder::Baseline]) {
+                        let bound = multicore_candidate_bound(
+                            config, &engine, tensors, gemm, density, policy, scheme, parts, order,
+                            is_first,
+                        );
+                        let mut next = first_free_id;
+                        let plan = plan_partition_backward(
+                            &mut |_class, _name| {
+                                let id = TensorId::from_raw(next);
+                                next += 1;
+                                id
+                            },
+                            tensors,
+                            gemm,
+                            density,
+                            policy.dtype,
+                            scheme,
+                            parts,
+                            is_first,
+                        );
+                        let builders: Vec<BackwardBuilder> = plan
+                            .sub_gemms
+                            .iter()
+                            .zip(&plan.part_tensors)
+                            .map(|(s, t)| {
+                                BackwardBuilder::new(*s, policy, *t).with_ifmap_density(density)
+                            })
+                            .collect();
+                        candidates.push(FastCandidate {
+                            decision: LayerDecision {
+                                order,
+                                partition: Some((scheme, builders.len() as u64)),
+                            },
+                            bound,
+                            exec: FastExec::Multicore {
+                                builders,
+                                reduction: plan.reduction,
+                            },
+                        });
+                    }
+                }
+            }
+            select_best_fast(&candidates, config, is_first, options)
         }
     }
 }
@@ -806,8 +1238,9 @@ mod tests {
 
     #[test]
     fn every_options_combination_selects_identically() {
-        // 8 toggle combinations on a layer with a non-trivial candidate
-        // space: same report, same decision, bit for bit.
+        // 16 toggle combinations on a layer with a non-trivial candidate
+        // space: same report, same decision, bit for bit. In particular the
+        // analytic fast path must reproduce the cycle engine exactly.
         let config = NpuConfig::small_edge();
         let gemm = dy_heavy_conv();
         let (want, want_d) = simulate_layer_backward_with(
@@ -821,23 +1254,69 @@ mod tests {
         for parallel in [false, true] {
             for memoize in [false, true] {
                 for prune in [false, true] {
-                    let opts = SimOptions {
-                        parallel,
-                        memoize,
-                        prune,
-                        // Force a real pool even on a single-CPU machine.
-                        workers: 3,
-                    };
-                    let (got, got_d) = simulate_layer_backward_with(
-                        gemm,
-                        1.0,
-                        &config,
-                        Technique::DataPartitioning,
-                        false,
-                        &opts,
-                    );
-                    assert_eq!(got, want, "{opts:?} diverged from the sequential path");
-                    assert_eq!(got_d, want_d, "{opts:?} picked a different candidate");
+                    for analytic_fast_path in [false, true] {
+                        let opts = SimOptions {
+                            parallel,
+                            memoize,
+                            prune,
+                            // Force a real pool even on a single-CPU machine.
+                            workers: 3,
+                            analytic_fast_path,
+                        };
+                        let (got, got_d) = simulate_layer_backward_with(
+                            gemm,
+                            1.0,
+                            &config,
+                            Technique::DataPartitioning,
+                            false,
+                            &opts,
+                        );
+                        assert_eq!(got, want, "{opts:?} diverged from the sequential path");
+                        assert_eq!(got_d, want_d, "{opts:?} picked a different candidate");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_engine_for_all_techniques_and_configs() {
+        // Cross-check the analytic fast path against the cycle engine over
+        // every technique, forward + backward, single- and multi-core, with
+        // a sparse ifmap and both first/non-first layers.
+        let slow = SimOptions {
+            analytic_fast_path: false,
+            ..SimOptions::sequential()
+        };
+        let fast = SimOptions {
+            analytic_fast_path: true,
+            ..SimOptions::sequential()
+        };
+        for config in [
+            NpuConfig::small_edge(),
+            NpuConfig::large_single_core(),
+            NpuConfig::large_server(2),
+        ] {
+            let gemm = GemmShape::new(1536, 320, 448);
+            for density in [1.0, 0.37] {
+                let f_slow = simulate_layer_forward_with(gemm, density, &config, &slow);
+                let f_fast = simulate_layer_forward_with(gemm, density, &config, &fast);
+                assert_eq!(f_slow, f_fast, "forward diverged on {}", config.name);
+                for technique in Technique::ALL {
+                    for is_first in [false, true] {
+                        let (r_slow, d_slow) = simulate_layer_backward_with(
+                            gemm, density, &config, technique, is_first, &slow,
+                        );
+                        let (r_fast, d_fast) = simulate_layer_backward_with(
+                            gemm, density, &config, technique, is_first, &fast,
+                        );
+                        assert_eq!(
+                            r_slow, r_fast,
+                            "backward diverged: {technique} on {} (is_first={is_first})",
+                            config.name
+                        );
+                        assert_eq!(d_slow, d_fast, "{technique} picked a different candidate");
+                    }
                 }
             }
         }
@@ -853,6 +1332,7 @@ mod tests {
             memoize: true,
             prune: false,
             workers: 0,
+            analytic_fast_path: false,
         };
         let first =
             simulate_layer_backward_with(gemm, 1.0, &config, Technique::Interleaving, false, &opts);

@@ -41,8 +41,8 @@
 //! [`forward_schedule`] emits the (technique-independent) forward pass.
 
 use crate::tiling::{Blocking, TilePolicy};
-use igo_npu_sim::{Schedule, TensorId, TileOp};
-use igo_tensor::{GemmShape, TensorClass, TileCoord, TileGrid};
+use igo_npu_sim::{Schedule, ScheduleSink, TensorId, TileAccessSpec, TileOpSpec};
+use igo_tensor::{DataType, GemmShape, MatrixDims, TensorClass, TileCoord, TileGrid};
 
 /// Tensor ids of one layer within a schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +75,53 @@ impl LayerTensors {
     }
 }
 
+/// Precomputed clipped tile dims/bytes of one grid: only the last row and
+/// last column clip, so every tile falls into one of four variants — the
+/// emission hot loops reduce per-access geometry to two edge compares and
+/// a table lookup.
+#[derive(Debug, Clone, Copy)]
+struct GridCosts {
+    /// `dims[r_is_last][c_is_last]`.
+    dims: [[MatrixDims; 2]; 2],
+    /// Matching byte footprints (after any density scaling).
+    bytes: [[u64; 2]; 2],
+    last_row: u32,
+    last_col: u32,
+}
+
+impl GridCosts {
+    /// Tables for `grid` at `dtype`, with each variant's DRAM bytes mapped
+    /// through `cost` (identity for dense tensors, the raw-layout density
+    /// scaling for `X`/`dX`).
+    fn new(grid: &TileGrid, dtype: DataType, cost: impl Fn(u64) -> u64) -> Self {
+        let rr = [0, grid.rows() - 1];
+        let cc = [0, grid.cols() - 1];
+        let mut dims = [[MatrixDims::new(1, 1); 2]; 2];
+        let mut bytes = [[0u64; 2]; 2];
+        for (a, &r) in rr.iter().enumerate() {
+            for (b, &c) in cc.iter().enumerate() {
+                let d = grid.tile_dims(TileCoord::new(r, c));
+                dims[a][b] = d;
+                bytes[a][b] = cost(d.bytes(dtype));
+            }
+        }
+        Self {
+            dims,
+            bytes,
+            last_row: grid.rows() - 1,
+            last_col: grid.cols() - 1,
+        }
+    }
+
+    /// Clipped dims and bytes of the tile at `coord`.
+    #[inline]
+    fn at(&self, coord: TileCoord) -> (MatrixDims, u64) {
+        let r = (coord.r == self.last_row) as usize;
+        let c = (coord.c == self.last_col) as usize;
+        (self.dims[r][c], self.bytes[r][c])
+    }
+}
+
 /// Emits backward-pass schedules for one layer.
 #[derive(Debug, Clone)]
 pub struct BackwardBuilder {
@@ -86,18 +133,27 @@ pub struct BackwardBuilder {
     tensors: LayerTensors,
     elide_dw_dy_reads: bool,
     ifmap_density: f64,
+    dy_costs: GridCosts,
+    x_costs: GridCosts,
+    w_costs: GridCosts,
 }
 
 impl BackwardBuilder {
     /// Builder for a layer with forward shape `gemm`, tiled per `policy`,
     /// touching the tensors `tensors` (registered in the target schedule).
     pub fn new(gemm: GemmShape, policy: TilePolicy, tensors: LayerTensors) -> Self {
+        let dy_grid = gemm.dy_grid(policy.tile);
+        let x_grid = gemm.dx_grid(policy.tile);
+        let w_grid = gemm.dw_grid(policy.tile);
         Self {
             gemm,
             policy,
-            dy_grid: gemm.dy_grid(policy.tile),
-            x_grid: gemm.dx_grid(policy.tile),
-            w_grid: gemm.dw_grid(policy.tile),
+            dy_costs: GridCosts::new(&dy_grid, policy.dtype, |b| b),
+            x_costs: GridCosts::new(&x_grid, policy.dtype, |b| b),
+            w_costs: GridCosts::new(&w_grid, policy.dtype, |b| b),
+            dy_grid,
+            x_grid,
+            w_grid,
             tensors,
             elide_dw_dy_reads: false,
             ifmap_density: 1.0,
@@ -118,12 +174,10 @@ impl BackwardBuilder {
     pub fn with_ifmap_density(mut self, density: f64) -> Self {
         assert!(density > 0.0 && density <= 1.0, "density must be in (0,1]");
         self.ifmap_density = density;
+        self.x_costs = GridCosts::new(&self.x_grid, self.policy.dtype, |b| {
+            ((b as f64 * density).ceil() as u64).max(4)
+        });
         self
-    }
-
-    /// Bytes of an `X`/`dX` tile as transferred from DRAM (raw layout).
-    fn x_bytes(&self, bytes: u64) -> u64 {
-        ((bytes as f64 * self.ifmap_density).ceil() as u64).max(4)
     }
 
     /// Elide the `dW` pass's `dY` reads (the Figure 6 potential study).
@@ -138,18 +192,62 @@ impl BackwardBuilder {
         self.gemm
     }
 
+    /// The tile policy this builder plans against.
+    pub fn policy(&self) -> TilePolicy {
+        self.policy
+    }
+
+    /// The layer's tensor ids.
+    pub fn tensors(&self) -> LayerTensors {
+        self.tensors
+    }
+
+    /// The `X`/`dX` raw-layout density factor.
+    pub fn density(&self) -> f64 {
+        self.ifmap_density
+    }
+
+    /// Tile grid over `Y`/`dY`.
+    pub fn dy_grid(&self) -> &TileGrid {
+        &self.dy_grid
+    }
+
+    /// Tile grid over `X`/`dX`.
+    pub fn x_grid(&self) -> &TileGrid {
+        &self.x_grid
+    }
+
+    /// Tile grid over `W`/`dW`.
+    pub fn w_grid(&self) -> &TileGrid {
+        &self.w_grid
+    }
+
+    /// Register this layer's tile grids with an analytic collector: the
+    /// dense tile-id registry needs each touched tensor's grid extent
+    /// before emission starts. `Y` shares the `dY` grid; registering
+    /// tensors the emission never touches is harmless.
+    pub fn register_grids(&self, collector: &mut igo_npu_sim::analytic::AnalyticCollector) {
+        let t = self.tensors;
+        collector.register_tensor(t.dy, TensorClass::OutGrad, &self.dy_grid);
+        collector.register_tensor(t.w, TensorClass::Weight, &self.w_grid);
+        collector.register_tensor(t.x, TensorClass::Ifmap, &self.x_grid);
+        collector.register_tensor(t.dx, TensorClass::InGrad, &self.x_grid);
+        collector.register_tensor(t.dw, TensorClass::WGrad, &self.w_grid);
+        collector.register_tensor(t.y, TensorClass::Ofmap, &self.dy_grid);
+    }
+
     /// M-tile count.
-    fn mt(&self) -> u64 {
+    pub(crate) fn mt(&self) -> u64 {
         self.dy_grid.rows() as u64
     }
 
     /// N-tile count.
-    fn nt(&self) -> u64 {
+    pub(crate) fn nt(&self) -> u64 {
         self.dy_grid.cols() as u64
     }
 
     /// K-tile count.
-    fn kt(&self) -> u64 {
+    pub(crate) fn kt(&self) -> u64 {
         self.x_grid.cols() as u64
     }
 
@@ -159,96 +257,120 @@ impl BackwardBuilder {
     }
 
     /// `dX[i,kk] += dY[i,j] · Wᵀ[j,kk]`.
-    fn dx_op(&self, i: u64, kk: u64, j: u64) -> TileOp {
+    fn dx_op(&self, i: u64, kk: u64, j: u64) -> TileOpSpec {
         let (i, kk, j) = (i as u32, kk as u32, j as u32);
         let dy_c = TileCoord::new(i, j);
         let w_c = TileCoord::new(kk, j);
         let dx_c = TileCoord::new(i, kk);
-        let dy_d = self.dy_grid.tile_dims(dy_c);
-        let dx_d = self.x_grid.tile_dims(dx_c);
-        TileOp::new(GemmShape::new(dy_d.rows, dy_d.cols, dx_d.cols))
-            .read(self.tensors.dy, dy_c, dy_d.bytes(self.policy.dtype))
-            .read(
-                self.tensors.w,
-                w_c,
-                self.w_grid.tile_bytes(w_c, self.policy.dtype),
-            )
-            .accumulate(
-                self.tensors.dx,
-                dx_c,
-                self.x_bytes(dx_d.bytes(self.policy.dtype)),
-            )
+        let (dy_d, dy_b) = self.dy_costs.at(dy_c);
+        let (_, w_b) = self.w_costs.at(w_c);
+        let (dx_d, dx_b) = self.x_costs.at(dx_c);
+        TileOpSpec {
+            reads: [
+                Some(TileAccessSpec {
+                    tensor: self.tensors.dy,
+                    coord: dy_c,
+                    bytes: dy_b,
+                }),
+                Some(TileAccessSpec {
+                    tensor: self.tensors.w,
+                    coord: w_c,
+                    bytes: w_b,
+                }),
+            ],
+            acc: Some(TileAccessSpec {
+                tensor: self.tensors.dx,
+                coord: dx_c,
+                bytes: dx_b,
+            }),
+            compute: GemmShape::new(dy_d.rows, dy_d.cols, dx_d.cols),
+        }
     }
 
     /// `dW[kk,j] += Xᵀ[kk,i] · dY[i,j]`.
-    fn dw_op(&self, kk: u64, j: u64, i: u64) -> TileOp {
+    fn dw_op(&self, kk: u64, j: u64, i: u64) -> TileOpSpec {
         let (i, kk, j) = (i as u32, kk as u32, j as u32);
         let dy_c = TileCoord::new(i, j);
         let x_c = TileCoord::new(i, kk);
         let dw_c = TileCoord::new(kk, j);
-        let dy_d = self.dy_grid.tile_dims(dy_c);
-        let dw_d = self.w_grid.tile_dims(dw_c);
-        let mut op = TileOp::new(GemmShape::new(dw_d.rows, dy_d.rows, dw_d.cols)).read(
-            self.tensors.x,
-            x_c,
-            self.x_bytes(self.x_grid.tile_bytes(x_c, self.policy.dtype)),
-        );
-        if !self.elide_dw_dy_reads {
-            op = op.read(self.tensors.dy, dy_c, dy_d.bytes(self.policy.dtype));
+        let (dy_d, dy_b) = self.dy_costs.at(dy_c);
+        let (_, x_b) = self.x_costs.at(x_c);
+        let (dw_d, dw_b) = self.w_costs.at(dw_c);
+        let dy_read = if self.elide_dw_dy_reads {
+            None
+        } else {
+            Some(TileAccessSpec {
+                tensor: self.tensors.dy,
+                coord: dy_c,
+                bytes: dy_b,
+            })
+        };
+        TileOpSpec {
+            reads: [
+                Some(TileAccessSpec {
+                    tensor: self.tensors.x,
+                    coord: x_c,
+                    bytes: x_b,
+                }),
+                dy_read,
+            ],
+            acc: Some(TileAccessSpec {
+                tensor: self.tensors.dw,
+                coord: dw_c,
+                bytes: dw_b,
+            }),
+            compute: GemmShape::new(dw_d.rows, dy_d.rows, dw_d.cols),
         }
-        op.accumulate(self.tensors.dw, dw_c, dw_d.bytes(self.policy.dtype))
     }
 
-    /// The blocked `dX` nest (row-major `dY` traversal), planned for a
-    /// residency budget of `capacity` tiles, grouped per super-block (each
-    /// inner `Vec` is one complete block: its accumulators retire at the
-    /// group boundary).
-    fn dx_blocks(&self, capacity: u64) -> Vec<Vec<TileOp>> {
+    /// The blocking of the `dX` nest (row-major `dY` traversal) for a
+    /// residency budget of `capacity` tiles.
+    fn dx_blocking(&self, capacity: u64) -> Blocking {
+        Blocking::choose(self.mt(), self.kt(), self.nt(), capacity)
+    }
+
+    /// Emit one super-block of the blocked `dX` nest straight into the
+    /// sink (ops are built on the stack — emission never materialises an
+    /// op list). The block's accumulators retire at its boundary.
+    fn dx_emit_block<S: ScheduleSink>(
+        &self,
+        i0: u64,
+        k0: u64,
+        blocking: &Blocking,
+        schedule: &mut S,
+    ) {
         let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
-        let blocking = Blocking::choose(mt, kt, nt, capacity);
-        let mut blocks = Vec::new();
-        for (i0, k0) in blocking.blocks(mt, kt) {
-            let mut ops = Vec::new();
-            for j in 0..nt {
-                for i in i0..(i0 + blocking.b_rows).min(mt) {
-                    for kk in k0..(k0 + blocking.b_cols).min(kt) {
-                        ops.push(self.dx_op(i, kk, j));
-                    }
+        for j in 0..nt {
+            for i in i0..(i0 + blocking.b_rows).min(mt) {
+                for kk in k0..(k0 + blocking.b_cols).min(kt) {
+                    schedule.gemm(&self.dx_op(i, kk, j));
                 }
             }
-            blocks.push(ops);
         }
-        blocks
     }
 
-    /// The blocked `dX` nest as a flat op list.
-    fn dx_stream(&self, capacity: u64) -> Vec<TileOp> {
-        self.dx_blocks(capacity).into_iter().flatten().collect()
+    /// The blocking of the `dW` nest (column-major `dY` traversal).
+    fn dw_blocking(&self, capacity: u64) -> Blocking {
+        Blocking::choose(self.kt(), self.nt(), self.mt(), capacity)
     }
 
-    /// The blocked `dW` nest (column-major `dY` traversal), grouped per
-    /// super-block.
-    fn dw_blocks(&self, capacity: u64) -> Vec<Vec<TileOp>> {
+    /// Emit one super-block of the blocked `dW` nest straight into the
+    /// sink.
+    fn dw_emit_block<S: ScheduleSink>(
+        &self,
+        k0: u64,
+        j0: u64,
+        blocking: &Blocking,
+        schedule: &mut S,
+    ) {
         let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
-        let blocking = Blocking::choose(kt, nt, mt, capacity);
-        let mut blocks = Vec::new();
-        for (k0, j0) in blocking.blocks(kt, nt) {
-            let mut ops = Vec::new();
-            for i in 0..mt {
-                for kk in k0..(k0 + blocking.b_rows).min(kt) {
-                    for j in j0..(j0 + blocking.b_cols).min(nt) {
-                        ops.push(self.dw_op(kk, j, i));
-                    }
+        for i in 0..mt {
+            for kk in k0..(k0 + blocking.b_rows).min(kt) {
+                for j in j0..(j0 + blocking.b_cols).min(nt) {
+                    schedule.gemm(&self.dw_op(kk, j, i));
                 }
             }
-            blocks.push(ops);
         }
-        blocks
-    }
-
-    /// The blocked `dW` nest as a flat op list.
-    fn dw_stream(&self, capacity: u64) -> Vec<TileOp> {
-        self.dw_blocks(capacity).into_iter().flatten().collect()
     }
 
     /// Baseline (§6.1): the `dX` kernel fully, a kernel boundary, then the
@@ -256,19 +378,22 @@ impl BackwardBuilder {
     /// planning its blocking for the whole residency. The barrier is what
     /// makes the baseline fetch `dY` twice: data staged by the first
     /// kernel is gone when the second starts.
-    pub fn baseline(&self, schedule: &mut Schedule) {
-        for op in self.dx_stream(self.policy.capacity_tiles) {
-            schedule.push_gemm(op);
+    pub fn baseline<S: ScheduleSink>(&self, schedule: &mut S) {
+        let cap = self.policy.capacity_tiles;
+        let bx = self.dx_blocking(cap);
+        for (i0, k0) in bx.blocks(self.mt(), self.kt()) {
+            self.dx_emit_block(i0, k0, &bx, schedule);
         }
-        schedule.push_barrier();
-        for op in self.dw_stream(self.policy.capacity_tiles) {
-            schedule.push_gemm(op);
+        schedule.barrier();
+        let bw = self.dw_blocking(cap);
+        for (k0, j0) in bw.blocks(self.kt(), self.nt()) {
+            self.dw_emit_block(k0, j0, &bw, schedule);
         }
     }
 
     /// The Figure 6 potential study: baseline order, `dW`'s `dY` reads
     /// elided.
-    pub fn baseline_ideal_dy_reuse(&self, schedule: &mut Schedule) {
+    pub fn baseline_ideal_dy_reuse<S: ScheduleSink>(&self, schedule: &mut S) {
         let ideal = self.clone().with_elided_dw_dy_reads();
         ideal.baseline(schedule);
     }
@@ -285,28 +410,26 @@ impl BackwardBuilder {
     /// by the `dX` stream are still in SPM when the `dW` stream arrives,
     /// whenever capacity allows — limited, as the paper observes, because
     /// "the required dY tiles differ between computing dX and dW".
-    pub fn interleaved(&self, schedule: &mut Schedule) {
+    pub fn interleaved<S: ScheduleSink>(&self, schedule: &mut S) {
         let cap = self.policy.capacity_tiles;
         // One super-step = one complete super-block of each stream's nest:
         // the working set retires exactly at block boundaries, so the two
         // streams barely interfere.
-        let mut dx = self.dx_blocks(cap).into_iter();
-        let mut dw = self.dw_blocks(cap).into_iter();
+        let bx = self.dx_blocking(cap);
+        let bw = self.dw_blocking(cap);
+        let mut dx = bx.blocks(self.mt(), self.kt());
+        let mut dw = bw.blocks(self.kt(), self.nt());
         loop {
-            let mut emitted = 0;
-            if let Some(block) = dx.next() {
-                emitted += block.len();
-                for op in block {
-                    schedule.push_gemm(op);
-                }
+            let mut emitted = false;
+            if let Some((i0, k0)) = dx.next() {
+                self.dx_emit_block(i0, k0, &bx, schedule);
+                emitted = true;
             }
-            if let Some(block) = dw.next() {
-                emitted += block.len();
-                for op in block {
-                    schedule.push_gemm(op);
-                }
+            if let Some((k0, j0)) = dw.next() {
+                self.dw_emit_block(k0, j0, &bw, schedule);
+                emitted = true;
             }
-            if emitted == 0 {
+            if !emitted {
                 break;
             }
         }
@@ -326,7 +449,7 @@ impl BackwardBuilder {
     /// evaluate: shrinking `kb` buys a wider sweep block (fewer re-reads of
     /// the non-dY operand and fewer partial-sum spills) at the price of
     /// more `dY` sweeps, which is free whenever `dY` itself is resident.
-    fn fused_blocks(&self, dx_major: bool) -> (u64, u64) {
+    pub(crate) fn fused_blocks(&self, dx_major: bool) -> (u64, u64) {
         let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
         let cap = self.policy.capacity_tiles;
         let dy_tiles = mt * nt;
@@ -374,7 +497,7 @@ impl BackwardBuilder {
 
     /// Interleaving + dXmajor (§4.3, Figure 10 b): a row-major sweep of
     /// `dY`; both gradients consume each tile back-to-back.
-    pub fn fused_dx_major(&self, schedule: &mut Schedule) {
+    pub fn fused_dx_major<S: ScheduleSink>(&self, schedule: &mut S) {
         let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
         let (kb, bi) = self.fused_blocks(true);
         let mut k0 = 0;
@@ -386,10 +509,10 @@ impl BackwardBuilder {
                 for j in 0..nt {
                     for i in i0..i_end {
                         for kk in k0..k_end {
-                            schedule.push_gemm(self.dx_op(i, kk, j));
+                            schedule.gemm(&self.dx_op(i, kk, j));
                         }
                         for kk in k0..k_end {
-                            schedule.push_gemm(self.dw_op(kk, j, i));
+                            schedule.gemm(&self.dw_op(kk, j, i));
                         }
                     }
                 }
@@ -401,7 +524,7 @@ impl BackwardBuilder {
 
     /// Interleaving + dWmajor (§4.3, Figure 10 c): a column-major sweep
     /// of `dY`.
-    pub fn fused_dw_major(&self, schedule: &mut Schedule) {
+    pub fn fused_dw_major<S: ScheduleSink>(&self, schedule: &mut S) {
         let (mt, kt, nt) = (self.mt(), self.kt(), self.nt());
         let (kb, bj) = self.fused_blocks(false);
         let mut k0 = 0;
@@ -413,10 +536,10 @@ impl BackwardBuilder {
                 for i in 0..mt {
                     for j in j0..j_end {
                         for kk in k0..k_end {
-                            schedule.push_gemm(self.dw_op(kk, j, i));
+                            schedule.gemm(&self.dw_op(kk, j, i));
                         }
                         for kk in k0..k_end {
-                            schedule.push_gemm(self.dx_op(i, kk, j));
+                            schedule.gemm(&self.dx_op(i, kk, j));
                         }
                     }
                 }
@@ -427,9 +550,10 @@ impl BackwardBuilder {
     }
 
     /// First-layer backward: the `dW` pass only.
-    pub fn dw_only(&self, schedule: &mut Schedule) {
-        for op in self.dw_stream(self.policy.capacity_tiles) {
-            schedule.push_gemm(op);
+    pub fn dw_only<S: ScheduleSink>(&self, schedule: &mut S) {
+        let bw = self.dw_blocking(self.policy.capacity_tiles);
+        for (k0, j0) in bw.blocks(self.kt(), self.nt()) {
+            self.dw_emit_block(k0, j0, &bw, schedule);
         }
     }
 }
@@ -464,7 +588,7 @@ impl BackwardBuilder {
     /// Emit the backward pass in the given order. A first layer always
     /// degenerates to the `dW`-only pass: with no `dX` to compute there is
     /// nothing to interleave.
-    pub fn emit(&self, order: BackwardOrder, is_first: bool, schedule: &mut Schedule) {
+    pub fn emit<S: ScheduleSink>(&self, order: BackwardOrder, is_first: bool, schedule: &mut S) {
         if is_first {
             self.dw_only(schedule);
             return;
@@ -480,12 +604,12 @@ impl BackwardBuilder {
 }
 
 /// Emit the forward pass `Y = X × W` with a capacity-blocked nest.
-pub fn forward_schedule(
+pub fn forward_schedule<S: ScheduleSink>(
     gemm: GemmShape,
     policy: TilePolicy,
     tensors: LayerTensors,
     ifmap_density: f64,
-    schedule: &mut Schedule,
+    schedule: &mut S,
 ) {
     assert!(
         ifmap_density > 0.0 && ifmap_density <= 1.0,
@@ -500,6 +624,11 @@ pub fn forward_schedule(
         x_grid.cols() as u64,
     );
     let blocking = Blocking::choose(mt, nt, kt, policy.capacity_tiles);
+    let y_costs = GridCosts::new(&y_grid, policy.dtype, |b| b);
+    let x_costs = GridCosts::new(&x_grid, policy.dtype, |b| {
+        ((b as f64 * ifmap_density).ceil() as u64).max(4)
+    });
+    let w_costs = GridCosts::new(&w_grid, policy.dtype, |b| b);
     for (i0, j0) in blocking.blocks(mt, nt) {
         for kk in 0..kt {
             for i in i0..(i0 + blocking.b_rows).min(mt) {
@@ -508,16 +637,29 @@ pub fn forward_schedule(
                     let y_c = TileCoord::new(iu, ju);
                     let x_c = TileCoord::new(iu, ku);
                     let w_c = TileCoord::new(ku, ju);
-                    let y_d = y_grid.tile_dims(y_c);
-                    let x_d = x_grid.tile_dims(x_c);
-                    let x_bytes =
-                        ((x_d.bytes(policy.dtype) as f64 * ifmap_density).ceil() as u64).max(4);
-                    schedule.push_gemm(
-                        TileOp::new(GemmShape::new(y_d.rows, x_d.cols, y_d.cols))
-                            .read(tensors.x, x_c, x_bytes)
-                            .read(tensors.w, w_c, w_grid.tile_bytes(w_c, policy.dtype))
-                            .accumulate(tensors.y, y_c, y_d.bytes(policy.dtype)),
-                    );
+                    let (y_d, y_b) = y_costs.at(y_c);
+                    let (x_d, x_b) = x_costs.at(x_c);
+                    let (_, w_b) = w_costs.at(w_c);
+                    schedule.gemm(&TileOpSpec {
+                        reads: [
+                            Some(TileAccessSpec {
+                                tensor: tensors.x,
+                                coord: x_c,
+                                bytes: x_b,
+                            }),
+                            Some(TileAccessSpec {
+                                tensor: tensors.w,
+                                coord: w_c,
+                                bytes: w_b,
+                            }),
+                        ],
+                        acc: Some(TileAccessSpec {
+                            tensor: tensors.y,
+                            coord: y_c,
+                            bytes: y_b,
+                        }),
+                        compute: GemmShape::new(y_d.rows, x_d.cols, y_d.cols),
+                    });
                 }
             }
         }

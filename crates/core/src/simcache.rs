@@ -17,8 +17,8 @@ use crate::pipeline::LayerDecision;
 use crate::technique::Technique;
 use igo_npu_sim::{NpuConfig, SimReport};
 use igo_tensor::GemmShape;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// The simulation-relevant fields of an [`NpuConfig`], bit-exact and
@@ -72,12 +72,113 @@ struct CacheKey {
 /// A memoized layer result (`decision` is `None` for forward passes).
 type CacheEntry = (SimReport, Option<LayerDecision>);
 
-static CACHE: OnceLock<Mutex<HashMap<CacheKey, CacheEntry>>> = OnceLock::new();
+/// Default capacity in entries (an entry is a couple of hundred bytes, so
+/// this bounds the memo cache to a few tens of megabytes).
+pub const DEFAULT_CACHE_CAP: usize = 1 << 18;
+
+/// Environment variable overriding the memo-cache capacity (entries).
+pub const CACHE_CAP_ENV: &str = "IGO_SIM_CACHE_CAP";
+
+/// A bounded LRU map: recency is tracked with a lazy queue of
+/// `(key, stamp)` touches — an entry is live only under its latest stamp,
+/// so stale queue slots are skipped (and trimmed) instead of being moved.
+struct LruCache {
+    map: HashMap<CacheKey, (CacheEntry, u64)>,
+    queue: VecDeque<(CacheKey, u64)>,
+    clock: u64,
+}
+
+impl LruCache {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            clock: 0,
+        }
+    }
+
+    fn touch(&mut self, k: CacheKey) -> u64 {
+        self.clock += 1;
+        self.queue.push_back((k, self.clock));
+        self.clock
+    }
+
+    /// Compact the lazy queue once it holds more dead than live slots.
+    /// `retain` preserves the stamp order, so eviction recency is
+    /// unaffected; the halving threshold makes the sweep amortized O(1)
+    /// per touch.
+    fn maybe_compact(&mut self) {
+        if self.queue.len() > (2 * self.map.len()).max(64) {
+            let map = &self.map;
+            self.queue
+                .retain(|&(k, s)| map.get(&k).is_some_and(|&(_, live)| live == s));
+        }
+    }
+
+    fn get(&mut self, k: &CacheKey) -> Option<CacheEntry> {
+        let stamp = self.touch(*k);
+        let got = match self.map.get_mut(k) {
+            Some((entry, s)) => {
+                *s = stamp;
+                Some(*entry)
+            }
+            None => None,
+        };
+        self.maybe_compact();
+        got
+    }
+
+    fn insert(&mut self, k: CacheKey, entry: CacheEntry, cap: usize) {
+        let stamp = self.touch(k);
+        self.map.insert(k, (entry, stamp));
+        while self.map.len() > cap {
+            let (victim, s) = self.queue.pop_front().expect("queue covers every entry");
+            if self.map.get(&victim).is_some_and(|&(_, live)| live == s) {
+                self.map.remove(&victim);
+                EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.maybe_compact();
+    }
+}
+
+static CACHE: OnceLock<Mutex<LruCache>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+/// Capacity override; `usize::MAX` means "unset, read the environment".
+static CAP: AtomicUsize = AtomicUsize::new(usize::MAX);
 
-fn cache() -> &'static Mutex<HashMap<CacheKey, CacheEntry>> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> &'static Mutex<LruCache> {
+    CACHE.get_or_init(|| Mutex::new(LruCache::new()))
+}
+
+/// The active capacity cap: a [`set_sim_cache_cap`] override if present,
+/// else `IGO_SIM_CACHE_CAP` from the environment, else
+/// [`DEFAULT_CACHE_CAP`].
+pub fn sim_cache_cap() -> usize {
+    match CAP.load(Ordering::Relaxed) {
+        usize::MAX => std::env::var(CACHE_CAP_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&cap| cap > 0)
+            .unwrap_or(DEFAULT_CACHE_CAP),
+        cap => cap,
+    }
+}
+
+/// Override the memo-cache capacity (entries) for this process,
+/// taking precedence over `IGO_SIM_CACHE_CAP`. The cap applies to future
+/// insertions; it does not shrink the cache retroactively.
+///
+/// # Panics
+///
+/// Panics if `cap` is 0 (a cap of zero would make every lookup miss while
+/// still paying the insertion cost; disable memoization via
+/// [`crate::SimOptions::memoize`] instead).
+pub fn set_sim_cache_cap(cap: usize) {
+    assert!(cap > 0, "cache cap must be positive");
+    CAP.store(cap, Ordering::Relaxed);
 }
 
 fn key(gemm: GemmShape, density: f64, config: &NpuConfig, pass: PassKey) -> CacheKey {
@@ -90,7 +191,7 @@ fn key(gemm: GemmShape, density: f64, config: &NpuConfig, pass: PassKey) -> Cach
 }
 
 fn lookup(k: &CacheKey) -> Option<CacheEntry> {
-    let got = cache().lock().unwrap().get(k).copied();
+    let got = cache().lock().unwrap().get(k);
     match got {
         Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
         None => MISSES.fetch_add(1, Ordering::Relaxed),
@@ -101,7 +202,8 @@ fn lookup(k: &CacheKey) -> Option<CacheEntry> {
 fn insert(k: CacheKey, entry: CacheEntry) {
     // Concurrent workers may race on the same key; both compute the same
     // deterministic value, so last-write-wins is harmless.
-    cache().lock().unwrap().insert(k, entry);
+    let cap = sim_cache_cap();
+    cache().lock().unwrap().insert(k, entry, cap);
 }
 
 pub(crate) fn get_forward(gemm: GemmShape, density: f64, config: &NpuConfig) -> Option<SimReport> {
@@ -143,13 +245,15 @@ pub(crate) fn put_backward(
     insert(key(gemm, density, config, pass), (report, Some(decision)));
 }
 
-/// Hit/miss counters of the layer memo cache.
+/// Hit/miss/eviction counters of the layer memo cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Layer simulations served from the cache.
     pub hits: u64,
     /// Layer simulations that had to run.
     pub misses: u64,
+    /// Entries dropped by the LRU capacity cap.
+    pub evictions: u64,
 }
 
 /// Process-wide cache counters so far. Monotonic; sample before and after a
@@ -158,12 +262,13 @@ pub fn sim_cache_stats() -> CacheStats {
     CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
     }
 }
 
 /// Number of distinct layer results currently memoized.
 pub fn sim_cache_len() -> usize {
-    cache().lock().unwrap().len()
+    cache().lock().unwrap().map.len()
 }
 
 #[cfg(test)]
@@ -202,6 +307,70 @@ mod tests {
             ConfigFingerprint::of(&b),
             "labels and batch (already in the GEMM's M) are not keys"
         );
+    }
+
+    fn key_for(m: u64) -> CacheKey {
+        key(
+            GemmShape::new(m, 3, 5),
+            1.0,
+            &NpuConfig::small_edge(),
+            PassKey::Forward,
+        )
+    }
+
+    fn entry_for(cycles: u64) -> CacheEntry {
+        (
+            SimReport {
+                cycles,
+                ..Default::default()
+            },
+            None,
+        )
+    }
+
+    #[test]
+    fn lru_cap_evicts_least_recently_used() {
+        let mut lru = LruCache::new();
+        let evicted_before = EVICTIONS.load(Ordering::Relaxed);
+        for m in 1..=4 {
+            lru.insert(key_for(m), entry_for(m), 4);
+        }
+        // Touch the oldest entry, then overflow: the untouched next-oldest
+        // (m=2) must be the victim, not the refreshed m=1.
+        assert!(lru.get(&key_for(1)).is_some());
+        lru.insert(key_for(5), entry_for(5), 4);
+        assert_eq!(lru.map.len(), 4, "cap must hold");
+        assert!(lru.get(&key_for(2)).is_none(), "LRU entry evicted");
+        assert!(lru.get(&key_for(1)).is_some(), "refreshed entry survives");
+        assert!(lru.get(&key_for(5)).is_some(), "newest entry survives");
+        assert!(
+            EVICTIONS.load(Ordering::Relaxed) > evicted_before,
+            "evictions must be counted"
+        );
+    }
+
+    #[test]
+    fn lru_queue_stays_bounded_under_repeated_touches() {
+        let mut lru = LruCache::new();
+        for m in 1..=8 {
+            lru.insert(key_for(m), entry_for(m), 8);
+        }
+        for _ in 0..10_000 {
+            assert!(lru.get(&key_for(3)).is_some());
+        }
+        assert!(
+            lru.queue.len() <= (2 * lru.map.len()).max(64) + 1,
+            "lazy queue must be compacted, got {} slots",
+            lru.queue.len()
+        );
+    }
+
+    #[test]
+    fn cache_cap_override_takes_precedence() {
+        // A deliberately large override so concurrently running tests that
+        // rely on memoization never see evictions from this one.
+        set_sim_cache_cap(9_999_999);
+        assert_eq!(sim_cache_cap(), 9_999_999);
     }
 
     #[test]

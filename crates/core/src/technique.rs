@@ -30,6 +30,16 @@ pub enum Technique {
 }
 
 impl Technique {
+    /// Every technique, in declaration order.
+    pub const ALL: [Technique; 6] = [
+        Technique::Baseline,
+        Technique::IdealDyReuse,
+        Technique::Interleaving,
+        Technique::Rearrangement,
+        Technique::RearrangementOracle,
+        Technique::DataPartitioning,
+    ];
+
     /// The cumulative Figure 12 ladder, in order.
     pub const LADDER: [Technique; 4] = [
         Technique::Baseline,

@@ -1,0 +1,1117 @@
+//! Closed-form / fast-replay analytical model of the cycle engine.
+//!
+//! Design-space sweeps dominate simulator usage (SCALE-Sim ships an
+//! analytical estimation mode next to its cycle-accurate one for exactly
+//! this reason), and most of the cycle engine's per-layer cost is
+//! *mechanical*: materialising a [`crate::Schedule`] (one heap-allocated
+//! [`crate::TileOp`] per tile GEMM), interning every tile access through a
+//! hash map, and only then walking the timelines. This module removes that
+//! overhead in two tiers, each tagged with an explicit [`Exactness`]:
+//!
+//! * **[`Exactness::Exact`] — allocation-free replay.** An
+//!   [`AnalyticCollector`] implements [`ScheduleSink`], so the schedule
+//!   builders emit the *identical* op stream into a flat structure-of-arrays
+//!   buffer with tile ids computed arithmetically from grid coordinates
+//!   (`base + r·cols + c`) instead of interned through a hash map.
+//!   [`AnalyticCollector::replay`] then advances the same two timelines as
+//!   [`crate::Engine::run`], in the same floating-point operation order,
+//!   over a Belady replacement model ([`ReplayOptCache`]) whose eviction
+//!   decisions are provably identical to [`crate::opt::DenseOptCache`]'s
+//!   (same `(next_use, TileKey)` victim ordering, same bypass rule, same
+//!   write-back accounting) but implemented with a position-indexed victim
+//!   bitset instead of a `BTreeSet`. The resulting [`SimReport`] is
+//!   bit-identical to the engine's — fuzz-asserted in `core::audit`.
+//!
+//! * **[`Exactness::LowerBound`] — closed form, no emission at all.** For
+//!   candidate pruning, [`BoundAccum`] assembles an admissible lower bound
+//!   directly from grid extents: exact compute cycles / MAC / op counts
+//!   (the tile-cycle sum is separable over the three grid axes, see
+//!   [`compute_sum`]), compulsory per-class DRAM traffic (each distinct
+//!   tile whose first touch in a barrier-delimited region is a clean read
+//!   must be fetched; every accumulator is written back at least once), a
+//!   per-burst latency floor, and optional *capacity window* terms (for any
+//!   contiguous access window, bytes touched beyond the SPM capacity must
+//!   be transferred — the partial-result spill floor of the fused orders).
+//!   Every field is provably on the optimistic side of the engine's report;
+//!   the audit asserts admissibility case by case.
+//!
+//! The per-order composition of these pieces (which tensors live in which
+//! region, fused-sweep window geometry, partitioned-candidate merging)
+//! lives in `igo-core`'s `bound` module, next to the schedule builders it
+//! mirrors.
+
+use crate::engine::{Engine, Replacement};
+use crate::stats::{SimReport, Traffic};
+use crate::trace::{ScheduleSink, StreamOp, TensorId, TileOpSpec};
+use igo_tensor::{DataType, GemmShape, TensorClass, TileCoord, TileGrid};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How an analytic result relates to the cycle engine's report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exactness {
+    /// Bit-identical to [`Engine::run`] on the same op stream.
+    Exact,
+    /// Admissible: cycles, traffic and miss count never exceed the
+    /// engine's; hit count never falls below it; compute cycles, op and
+    /// MAC counts are exact.
+    LowerBound,
+}
+
+/// An analytic evaluation: the estimated report plus its exactness tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticReport {
+    /// The estimated (or exact) simulation report.
+    pub report: SimReport,
+    /// How `report` relates to the engine's.
+    pub exactness: Exactness,
+}
+
+/// Process-wide count of analytic replays, the fast-path twin of
+/// [`crate::engine_run_count`]: a replay is a full evaluation of a layer
+/// schedule that did *not* consume an engine run.
+static ANALYTIC_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`AnalyticCollector::replay`] invocations so far in this process.
+pub fn analytic_run_count() -> u64 {
+    ANALYTIC_RUNS.load(Ordering::Relaxed)
+}
+
+/// Sentinel dense id marking a kernel boundary in the collected stream
+/// (mirrors the engine's flattened-stream sentinel).
+const BARRIER_ID: u32 = u32::MAX;
+
+/// Flag bit of [`AccessRec::bytes_dirty`] marking an accumulator touch.
+const DIRTY_BIT: u32 = 1 << 31;
+
+/// Byte-count mask of [`AccessRec::bytes_dirty`].
+const BYTES_MASK: u32 = DIRTY_BIT - 1;
+
+/// "Not used again" sentinel of the next-use oracle.
+const NO_USE: u32 = u32::MAX;
+
+/// One recorded tile access, packed to 16 bytes so replay streams a
+/// cache line per four accesses.
+#[derive(Debug, Clone, Copy)]
+struct AccessRec {
+    /// Victim-ordering rank: `(tensor_raw << 32) | (r·cols + c)`. Because
+    /// [`crate::trace::TileKey`]'s derived order is lexicographic
+    /// `(tensor, r, c)` and `c < cols` within a tensor, this packing is
+    /// order-isomorphic to the key — so heap tie-breaks on `rank` match
+    /// the engine's tie-breaks on `TileKey` exactly.
+    rank: u64,
+    /// Dense tile id (`base + r·cols + c`), or [`BARRIER_ID`].
+    id: u32,
+    /// Access bytes (`< 2^31`, asserted at emission) with [`DIRTY_BIT`]
+    /// flagging accumulator touches.
+    bytes_dirty: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OpRec {
+    /// A tile GEMM with `accesses` consecutive entries in the access stream.
+    Gemm { accesses: u32, compute: GemmShape },
+    /// Pure data movement.
+    Stream(StreamOp),
+    /// Kernel boundary (owns one sentinel entry in the access stream).
+    Barrier,
+}
+
+/// Per-tensor entry of the dense tile-id registry.
+#[derive(Debug, Clone, Copy)]
+struct TensorEntry {
+    base: u32,
+    cols: u32,
+}
+
+/// A [`ScheduleSink`] that records the op stream into flat buffers for
+/// [`AnalyticCollector::replay`], with no per-op heap allocation.
+///
+/// Tensors must be registered (with their tile-grid extents) before any of
+/// their tiles are emitted; the schedule builders know every grid they
+/// touch, so registration is a handful of calls per layer.
+#[derive(Debug, Default)]
+pub struct AnalyticCollector {
+    tensors: Vec<Option<TensorEntry>>,
+    /// Dense id → traffic class (for write-back attribution).
+    dense_class: Vec<TensorClass>,
+    stream: Vec<AccessRec>,
+    ops: Vec<OpRec>,
+}
+
+impl AnalyticCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all recorded state but keep the allocations (hot-loop reuse).
+    pub fn clear(&mut self) {
+        self.tensors.clear();
+        self.dense_class.clear();
+        self.stream.clear();
+        self.ops.clear();
+    }
+
+    /// Number of recorded schedule ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Register `tensor` with the extents of `grid` so its tiles map to
+    /// dense ids. Re-registering the same tensor is a checked no-op;
+    /// registering tensors that are never touched is harmless.
+    pub fn register_tensor(&mut self, tensor: TensorId, class: TensorClass, grid: &TileGrid) {
+        let raw = tensor.raw() as usize;
+        if self.tensors.len() <= raw {
+            self.tensors.resize(raw + 1, None);
+        }
+        if let Some(entry) = &self.tensors[raw] {
+            debug_assert_eq!(entry.cols, grid.cols(), "re-registration must agree");
+            return;
+        }
+        let tiles = grid.num_tiles();
+        let base = self.dense_class.len() as u64;
+        assert!(
+            base + tiles < BARRIER_ID as u64,
+            "tile registry overflows the dense id space"
+        );
+        self.tensors[raw] = Some(TensorEntry {
+            base: base as u32,
+            cols: grid.cols(),
+        });
+        self.dense_class
+            .extend(std::iter::repeat_n(class, tiles as usize));
+    }
+
+    fn push_access(&mut self, tensor: TensorId, coord: TileCoord, bytes: u64, dirty: bool) {
+        let entry = self.tensors[tensor.raw() as usize]
+            .as_ref()
+            .expect("tensor touched before registration");
+        let offset = coord.r * entry.cols + coord.c;
+        assert!(bytes < DIRTY_BIT as u64, "tile access exceeds 2 GiB");
+        self.stream.push(AccessRec {
+            rank: ((tensor.raw() as u64) << 32) | offset as u64,
+            id: entry.base + offset,
+            bytes_dirty: bytes as u32 | if dirty { DIRTY_BIT } else { 0 },
+        });
+    }
+}
+
+impl ScheduleSink for AnalyticCollector {
+    fn gemm(&mut self, op: &TileOpSpec) {
+        let mut accesses = 0u32;
+        for r in op.reads.iter().flatten() {
+            self.push_access(r.tensor, r.coord, r.bytes, false);
+            accesses += 1;
+        }
+        if let Some(a) = &op.acc {
+            self.push_access(a.tensor, a.coord, a.bytes, true);
+            accesses += 1;
+        }
+        self.ops.push(OpRec::Gemm {
+            accesses,
+            compute: op.compute,
+        });
+    }
+
+    fn stream(&mut self, op: StreamOp) {
+        self.ops.push(OpRec::Stream(op));
+    }
+
+    fn barrier(&mut self) {
+        self.stream.push(AccessRec {
+            rank: 0,
+            id: BARRIER_ID,
+            bytes_dirty: 0,
+        });
+        self.ops.push(OpRec::Barrier);
+    }
+}
+
+/// Per-tile replacement state, packed to 12 bytes: the slot array is the
+/// replay loop's only randomly-indexed memory, so its footprint bounds the
+/// loop's cache behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReplaySlot {
+    bytes: u32,
+    next_use: u32,
+    dirty: bool,
+    resident: bool,
+    spilled: bool,
+}
+
+/// Belady replacement with eviction decisions identical to
+/// [`crate::opt::DenseOptCache`] but backed by a position-indexed victim
+/// bitset instead of an ordered set.
+///
+/// The `BTreeSet` variant pays two ordered-set operations per *hit*
+/// (remove the old `(next_use, key)` entry, insert the new one). The key
+/// observation here is that a next-use value is a *stream position*, and
+/// any position is the next use of at most one tile — so "resident tile
+/// with the farthest finite next use" is simply the highest set bit of a
+/// bitset indexed by position, and a hit is two O(1) bit flips. Residents
+/// with *no* further use in their region ([`NO_USE`]) outrank every finite
+/// position and are tie-broken by tile key, exactly matching the ordered
+/// set's `(next_use, key)` maximum — they sit in a small max-heap keyed by
+/// the packed rank. Victim selection — including the bypass rule — is
+/// therefore bit-identical to `DenseOptCache`'s.
+#[derive(Debug, Default)]
+pub struct ReplayOptCache {
+    capacity: u64,
+    used: u64,
+    slots: Vec<ReplaySlot>,
+    /// Bit `p` set iff some resident tile's current next-use is stream
+    /// position `p`.
+    live_bits: Vec<u64>,
+    /// Stream position → resident tile id; valid only where the
+    /// corresponding `live_bits` bit is set.
+    by_next_use: Vec<u32>,
+    /// Residents with no further use in their region, max packed rank
+    /// first — they outrank every finite-next-use resident as victims.
+    dead: BinaryHeap<(u64, u32)>,
+    /// Upper bound on the highest set bit of `live_bits`.
+    max_hint: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReplayOptCache {
+    /// Prepare for a run over `num_tiles` dense ids with `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reset(&mut self, capacity: u64, num_tiles: usize, stream_len: usize) {
+        assert!(capacity > 0, "SPM residency capacity must be positive");
+        self.capacity = capacity;
+        self.used = 0;
+        self.slots.clear();
+        self.slots.resize(num_tiles, ReplaySlot::default());
+        self.live_bits.clear();
+        self.live_bits.resize(stream_len.div_ceil(64), 0);
+        // Stale contents are fine — entries are read only under a set bit.
+        self.by_next_use.resize(stream_len, 0);
+        self.dead.clear();
+        self.max_hint = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Register `pos` as the next use of resident tile `id`.
+    #[inline]
+    fn set_live(&mut self, pos: u32, id: u32) {
+        self.live_bits[(pos >> 6) as usize] |= 1u64 << (pos & 63);
+        self.by_next_use[pos as usize] = id;
+        if pos > self.max_hint {
+            self.max_hint = pos;
+        }
+    }
+
+    /// Drop the registration of position `pos`.
+    #[inline]
+    fn clear_live(&mut self, pos: u32) {
+        self.live_bits[(pos >> 6) as usize] &= !(1u64 << (pos & 63));
+    }
+
+    /// The eviction victim — the resident maximising `(next_use, key)` —
+    /// as `(next_use, id)`, without removing it. The caller must ensure a
+    /// resident exists (`used > 0`).
+    fn peek_victim(&mut self) -> (u32, u32) {
+        if let Some(&(_, id)) = self.dead.peek() {
+            return (NO_USE, id);
+        }
+        let mut w = (self.max_hint >> 6) as usize;
+        loop {
+            let word = self.live_bits[w];
+            if word != 0 {
+                let pos = ((w as u32) << 6) | (63 - word.leading_zeros());
+                self.max_hint = pos;
+                return (pos, self.by_next_use[pos as usize]);
+            }
+            debug_assert!(w > 0, "used > 0 implies a resident victim");
+            w -= 1;
+        }
+    }
+
+    fn evict(&mut self, victim_next: u32, id: u32, writebacks: &mut Vec<(u32, u64)>) {
+        if victim_next == NO_USE {
+            self.dead.pop();
+        } else {
+            self.clear_live(victim_next);
+        }
+        let victim = &mut self.slots[id as usize];
+        debug_assert!(victim.resident, "victim index/slot state out of sync");
+        debug_assert_eq!(victim.next_use, victim_next, "stale victim registration");
+        victim.resident = false;
+        self.used -= victim.bytes as u64;
+        if victim.dirty {
+            writebacks.push((id, victim.bytes as u64));
+            victim.spilled = true;
+        }
+    }
+
+    /// Access tile `id`; semantics identical to `DenseOptCache::access`.
+    /// `rank` is the packed `TileKey` order (see `AccessRec::rank`).
+    pub fn access(
+        &mut self,
+        id: u32,
+        rank: u64,
+        bytes: u32,
+        dirty: bool,
+        next_use: u32,
+        writebacks: &mut Vec<(u32, u64)>,
+    ) -> u64 {
+        let slot = &mut self.slots[id as usize];
+        if slot.resident {
+            // A tile's bytes are constant across accesses (the schedule
+            // emits one size per tile), so a hit leaves `used` unchanged and
+            // the capacity invariant (`used <= capacity` after every access)
+            // cannot break here — no eviction check is needed. This access
+            // *is* the tile's registered next use (the oracle pointed
+            // here), so the old registration is retired and the new
+            // next-use position registered: two O(1) bit flips.
+            debug_assert_eq!(slot.bytes, bytes, "a tile's access bytes are constant");
+            let old = slot.next_use;
+            debug_assert_ne!(old, NO_USE, "a dead resident cannot be accessed again");
+            slot.next_use = next_use;
+            slot.dirty |= dirty;
+            self.hits += 1;
+            self.clear_live(old);
+            if next_use == NO_USE {
+                self.dead.push((rank, id));
+            } else {
+                self.set_live(next_use, id);
+            }
+            return 0;
+        }
+
+        self.misses += 1;
+        let fetched = if dirty && !slot.spilled {
+            0
+        } else {
+            bytes as u64
+        };
+
+        let mut admitted = bytes as u64 <= self.capacity;
+        while admitted && self.used + bytes as u64 > self.capacity {
+            let (victim_next, victim_id) = self.peek_victim();
+            if victim_next <= next_use {
+                admitted = false;
+                break;
+            }
+            self.evict(victim_next, victim_id, writebacks);
+        }
+
+        let slot = &mut self.slots[id as usize];
+        if admitted {
+            slot.resident = true;
+            slot.bytes = bytes;
+            slot.dirty = dirty;
+            slot.next_use = next_use;
+            self.used += bytes as u64;
+            if next_use == NO_USE {
+                self.dead.push((rank, id));
+            } else {
+                self.set_live(next_use, id);
+            }
+        } else if dirty {
+            writebacks.push((id, bytes as u64));
+            slot.spilled = true;
+        }
+        fetched
+    }
+
+    /// [`Self::access`] specialised to a barrier region whose distinct-tile
+    /// footprint fits in `capacity`: no eviction can ever fire (residency
+    /// grows monotonically and tops out at the footprint), so the next-use
+    /// oracle, the victim index, and all capacity checks are dead weight —
+    /// a first touch admits unconditionally and every later touch is a
+    /// hit. The victim index is left untouched; the barrier `clear` that
+    /// ends the region resets it before any bounded-path access can
+    /// observe it.
+    fn access_unbounded(&mut self, id: u32, bytes: u32, dirty: bool) -> u64 {
+        let slot = &mut self.slots[id as usize];
+        if slot.resident {
+            slot.dirty |= dirty;
+            self.hits += 1;
+            0
+        } else {
+            self.misses += 1;
+            let fetched = if dirty && !slot.spilled {
+                0
+            } else {
+                bytes as u64
+            };
+            slot.resident = true;
+            slot.bytes = bytes;
+            slot.dirty = dirty;
+            fetched
+        }
+    }
+
+    /// Drop all residency and forget spill history (kernel boundary).
+    ///
+    /// The victim bitset needs no reset: the next-use oracle never chains
+    /// across a barrier, so every resident's final pre-barrier access
+    /// already retired its registration (and moved it to `dead`).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = ReplaySlot {
+                next_use: slot.next_use,
+                ..ReplaySlot::default()
+            };
+        }
+        debug_assert!(
+            self.live_bits.iter().all(|&w| w == 0),
+            "no next-use registration survives a barrier"
+        );
+        self.dead.clear();
+        self.max_hint = 0;
+        self.used = 0;
+    }
+
+    /// Flush all dirty residents into `writebacks` (they stay resident but
+    /// become clean). Write-back *order* differs from `DenseOptCache`
+    /// (dense-id order instead of eviction order) — irrelevant to the
+    /// report, whose flush accounting is a commutative sum.
+    pub fn flush(&mut self, writebacks: &mut Vec<(u32, u64)>) {
+        for (id, slot) in self.slots.iter_mut().enumerate() {
+            if slot.resident && slot.dirty {
+                writebacks.push((id as u32, slot.bytes as u64));
+                slot.dirty = false;
+                slot.spilled = true;
+            }
+        }
+    }
+}
+
+/// Reusable replay working memory (next-use oracle, write-back buffer,
+/// replacement state) — the analytic twin of [`crate::EngineScratch`].
+#[derive(Debug, Default)]
+pub struct AnalyticScratch {
+    next_use: Vec<u32>,
+    last_seen: Vec<u32>,
+    writebacks: Vec<(u32, u64)>,
+    /// Per barrier region: does the region's distinct-tile footprint fit
+    /// in SPM (enabling the no-eviction access path)?
+    region_fits: Vec<bool>,
+    /// Tiles sighted in the current region during the back-scan, with their
+    /// bytes — drives the per-region floor and the `last_seen` reset.
+    touched: Vec<(u32, u32)>,
+    /// Per tile, current-region dirtiness: bit 0 = the earliest access seen
+    /// so far is dirty, bit 1 = any access is dirty.
+    tile_flags: Vec<u8>,
+    /// Per barrier region: admissible DRAM floor as (bytes, bursts) —
+    /// compulsory clean-first-touch fetches plus one write-back per
+    /// ever-dirty tile.
+    region_floor: Vec<(u64, u64)>,
+    /// `region_mem_suffix[i]` = summed floor mem-time of regions after `i`.
+    region_mem_suffix: Vec<f64>,
+    opt: ReplayOptCache,
+}
+
+impl AnalyticScratch {
+    /// A fresh scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AnalyticCollector {
+    /// Replay the collected op stream against `engine`'s machine model and
+    /// return the report, tagged [`Exactness::Exact`]: the timelines are
+    /// advanced by the same floating-point operations in the same order as
+    /// [`Engine::run`], and the replacement model makes identical
+    /// decisions, so the report is bit-identical to running the engine on
+    /// the materialised [`crate::Schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engine` is configured with LRU replacement — the replay
+    /// models the compiler-managed (Belady) SPM only; callers must fall
+    /// back to [`Engine::run`] for the LRU ablation.
+    pub fn replay(&self, engine: &Engine, scratch: &mut AnalyticScratch) -> AnalyticReport {
+        self.replay_bounded(engine, scratch, None)
+            .expect("unbounded replay always completes")
+    }
+
+    /// [`Self::replay`] with an optional cycle `cutoff`: returns `None` as
+    /// soon as the replayed stream provably exceeds `cutoff` cycles, which
+    /// lets candidate selection abandon dominated candidates mid-replay.
+    ///
+    /// The abort test is conservative in both directions of the timeline
+    /// race: `mem_free` only grows, and the compute timeline must still
+    /// serialise every remaining tile GEMM (their exact cycle total is
+    /// pre-summed), so `max(mem_free, compute_free + remaining)` never
+    /// exceeds the final cycle count. A one-cycle guard band absorbs the
+    /// float rounding of the `compute_free + remaining` sum, so `None` is
+    /// returned only when the true cycles strictly exceed `cutoff` —
+    /// a completed replay is bit-identical to [`Self::replay`]'s.
+    pub fn replay_bounded(
+        &self,
+        engine: &Engine,
+        scratch: &mut AnalyticScratch,
+        cutoff: Option<u64>,
+    ) -> Option<AnalyticReport> {
+        assert_eq!(
+            engine.replacement(),
+            Replacement::Opt,
+            "analytic replay models OPT replacement only"
+        );
+        assert!(
+            self.stream.len() < NO_USE as usize,
+            "access stream overflows the u32 position space"
+        );
+        ANALYTIC_RUNS.fetch_add(1, Ordering::Relaxed);
+        let AnalyticScratch {
+            next_use,
+            last_seen,
+            writebacks,
+            region_fits,
+            touched,
+            tile_flags,
+            region_floor,
+            region_mem_suffix,
+            opt,
+        } = scratch;
+        writebacks.clear();
+        let capacity = engine.residency_bytes();
+
+        // Next-use oracle over the collected stream: identical back-scan to
+        // the engine's (barrier sentinels cut reuse), over dense ids that
+        // were computed arithmetically instead of interned. The same scan
+        // sums each region's distinct-tile footprint (a tile's bytes are
+        // counted at its last use in the region) to decide per region
+        // whether the no-eviction access path applies, and an admissible
+        // per-region DRAM floor: every clean first touch must fetch its
+        // bytes (residency is dropped at each barrier), and every
+        // ever-dirty tile must be written back at least once (by eviction,
+        // admission bypass, or the barrier flush).
+        next_use.clear();
+        next_use.resize(self.stream.len(), NO_USE);
+        last_seen.clear();
+        last_seen.resize(self.dense_class.len(), NO_USE);
+        tile_flags.clear();
+        tile_flags.resize(self.dense_class.len(), 0);
+        touched.clear();
+        region_fits.clear();
+        region_floor.clear();
+        let mut footprint = 0u64;
+        let end_region = |footprint: u64,
+                          touched: &mut Vec<(u32, u32)>,
+                          tile_flags: &mut [u8],
+                          last_seen: &mut [u32],
+                          region_fits: &mut Vec<bool>,
+                          region_floor: &mut Vec<(u64, u64)>| {
+            region_fits.push(footprint <= capacity);
+            let mut floor_bytes = 0u64;
+            let mut floor_bursts = 0u64;
+            for &(id, bytes) in touched.iter() {
+                let flags = tile_flags[id as usize];
+                if flags & 1 == 0 {
+                    floor_bytes += bytes as u64;
+                    floor_bursts += 1;
+                }
+                if flags & 2 != 0 {
+                    floor_bytes += bytes as u64;
+                }
+                tile_flags[id as usize] = 0;
+                last_seen[id as usize] = NO_USE;
+            }
+            touched.clear();
+            region_floor.push((floor_bytes, floor_bursts));
+        };
+        for pos in (0..self.stream.len()).rev() {
+            let rec = &self.stream[pos];
+            if rec.id == BARRIER_ID {
+                end_region(
+                    footprint,
+                    touched,
+                    tile_flags,
+                    last_seen,
+                    region_fits,
+                    region_floor,
+                );
+                footprint = 0;
+            } else {
+                let bytes = rec.bytes_dirty & BYTES_MASK;
+                let later = last_seen[rec.id as usize];
+                if later != NO_USE {
+                    next_use[pos] = later;
+                } else {
+                    footprint += bytes as u64;
+                    touched.push((rec.id, bytes));
+                }
+                last_seen[rec.id as usize] = pos as u32;
+                // Bit 0 tracks the earliest (forward-order) access's
+                // dirtiness — overwritten at each step of the backward
+                // scan, so the last write wins; bit 1 accumulates.
+                let dirty = (rec.bytes_dirty >> 31) as u8;
+                let flags = &mut tile_flags[rec.id as usize];
+                *flags = dirty | (*flags & 2) | (dirty << 1);
+            }
+        }
+        end_region(
+            footprint,
+            touched,
+            tile_flags,
+            last_seen,
+            region_fits,
+            region_floor,
+        );
+        region_fits.reverse();
+        region_floor.reverse();
+
+        let systolic = engine.systolic();
+        let bytes_per_cycle = engine.bytes_per_cycle();
+        let burst_latency = engine.burst_latency();
+
+        // Exact cycles the compute timeline still owes — the admissible
+        // floor behind the early abort — and the per-region DRAM floor
+        // suffix sums (both only needed when bounded).
+        let cutoff_plus = cutoff.map(|c| (c + 1) as f64);
+        let mut remaining_compute = 0u64;
+        region_mem_suffix.clear();
+        if let Some(limit) = cutoff_plus {
+            let mut memo: Option<(GemmShape, u64)> = None;
+            for op in &self.ops {
+                if let OpRec::Gemm { compute, .. } = op {
+                    remaining_compute += match memo {
+                        Some((shape, cycles)) if shape == *compute => cycles,
+                        _ => {
+                            let cycles = systolic.tile_cycles(*compute);
+                            memo = Some((*compute, cycles));
+                            cycles
+                        }
+                    };
+                }
+            }
+            // region_mem_suffix[i] = floor mem-time of regions strictly
+            // after i; the running total over all regions is a pre-replay
+            // floor that can reject the candidate before any cache work.
+            region_mem_suffix.resize(region_floor.len(), 0.0);
+            let mut acc = 0.0f64;
+            for i in (0..region_floor.len()).rev() {
+                region_mem_suffix[i] = acc;
+                let (bytes, bursts) = region_floor[i];
+                acc += bytes as f64 / bytes_per_cycle + (bursts * burst_latency) as f64;
+            }
+            if acc >= limit || remaining_compute as f64 >= limit {
+                return None;
+            }
+        }
+
+        opt.reset(capacity, self.dense_class.len(), self.stream.len());
+
+        let mut traffic = Traffic::new();
+        let mut mem_free: f64 = 0.0;
+        let mut compute_free: f64 = 0.0;
+        let mut compute_cycles_total: u64 = 0;
+        let mut mem_busy_total: f64 = 0.0;
+        let mut gemm_ops: u64 = 0;
+        let mut macs: u64 = 0;
+        let mut spm_bytes_touched: u64 = 0;
+        // Consecutive ops overwhelmingly share a tile shape: memoize the
+        // last systolic evaluation.
+        let mut last_shape: Option<(GemmShape, u64)> = None;
+
+        let mut region = 0usize;
+        let mut fits = region_fits[0];
+        let mut pos = 0usize;
+        for op in &self.ops {
+            match op {
+                OpRec::Gemm { accesses, compute } => {
+                    let mut fetched = 0u64;
+                    let mut writeback = 0u64;
+                    let mut bursts = 0u64;
+                    let end = pos + *accesses as usize;
+                    for (a, &nu) in self.stream[pos..end].iter().zip(&next_use[pos..end]) {
+                        let bytes = a.bytes_dirty & BYTES_MASK;
+                        let dirty = a.bytes_dirty & DIRTY_BIT != 0;
+                        spm_bytes_touched += bytes as u64;
+                        let got = if fits {
+                            opt.access_unbounded(a.id, bytes, dirty)
+                        } else {
+                            opt.access(a.id, a.rank, bytes, dirty, nu, writebacks)
+                        };
+                        if got > 0 {
+                            traffic.add_read(self.dense_class[a.id as usize], got);
+                            fetched += got;
+                            bursts += 1;
+                        }
+                        if !writebacks.is_empty() {
+                            for (vid, vbytes) in writebacks.drain(..) {
+                                traffic.add_write(self.dense_class[vid as usize], vbytes);
+                                writeback += vbytes;
+                            }
+                        }
+                    }
+                    pos = end;
+
+                    let move_bytes = fetched + writeback;
+                    if move_bytes > 0 {
+                        let mem_time = move_bytes as f64 / bytes_per_cycle
+                            + (bursts.max(1) * burst_latency) as f64;
+                        mem_free += mem_time;
+                        mem_busy_total += mem_time;
+                    }
+
+                    let cycles = match last_shape {
+                        Some((shape, cycles)) if shape == *compute => cycles,
+                        _ => {
+                            let cycles = systolic.tile_cycles(*compute);
+                            last_shape = Some((*compute, cycles));
+                            cycles
+                        }
+                    };
+                    let data_ready = if move_bytes > 0 { mem_free } else { 0.0 };
+                    let issue = compute_free.max(data_ready);
+                    compute_free = issue + cycles as f64;
+                    compute_cycles_total += cycles;
+                    gemm_ops += 1;
+                    macs += compute.macs();
+                    if let Some(limit) = cutoff_plus {
+                        remaining_compute -= cycles;
+                        if mem_free + region_mem_suffix[region] >= limit
+                            || compute_free + remaining_compute as f64 >= limit
+                        {
+                            return None;
+                        }
+                    }
+                }
+                OpRec::Stream(s) => {
+                    if s.read_bytes > 0 {
+                        traffic.add_read(s.class, s.read_bytes);
+                    }
+                    if s.write_bytes > 0 {
+                        traffic.add_write(s.class, s.write_bytes);
+                    }
+                    let bytes = s.read_bytes + s.write_bytes;
+                    if bytes > 0 {
+                        let mem_time = bytes as f64 / bytes_per_cycle + burst_latency as f64;
+                        mem_free += mem_time;
+                        mem_busy_total += mem_time;
+                    }
+                }
+                OpRec::Barrier => {
+                    opt.flush(writebacks);
+                    if !writebacks.is_empty() {
+                        let mut bytes = 0u64;
+                        for (vid, vbytes) in writebacks.drain(..) {
+                            traffic.add_write(self.dense_class[vid as usize], vbytes);
+                            bytes += vbytes;
+                        }
+                        let mem_time = bytes as f64 / bytes_per_cycle + burst_latency as f64;
+                        mem_free += mem_time;
+                        mem_busy_total += mem_time;
+                    }
+                    opt.clear();
+                    mem_free = mem_free.max(compute_free);
+                    region += 1;
+                    fits = region_fits[region];
+                    pos += 1; // consume the barrier sentinel
+                }
+            }
+        }
+
+        // Final flush of remaining dirty accumulators.
+        opt.flush(writebacks);
+        if !writebacks.is_empty() {
+            let mut bytes = 0u64;
+            for (vid, vbytes) in writebacks.drain(..) {
+                traffic.add_write(self.dense_class[vid as usize], vbytes);
+                bytes += vbytes;
+            }
+            let mem_time = bytes as f64 / bytes_per_cycle + burst_latency as f64;
+            mem_free += mem_time;
+            mem_busy_total += mem_time;
+        }
+
+        Some(AnalyticReport {
+            report: SimReport {
+                cycles: mem_free.max(compute_free).ceil() as u64,
+                compute_cycles: compute_cycles_total,
+                mem_cycles: mem_busy_total.ceil() as u64,
+                traffic,
+                spm_hits: opt.hits(),
+                spm_misses: opt.misses(),
+                gemm_ops,
+                macs,
+                spm_bytes_touched,
+            },
+            exactness: Exactness::Exact,
+        })
+    }
+}
+
+/// Closed-form byte/tile totals of one tensor's tile grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSum {
+    /// Distinct tiles in the grid.
+    pub tiles: u64,
+    /// Total bytes across all tiles (after any density scaling).
+    pub bytes: u64,
+}
+
+/// Closed-form [`GridSum`] of `grid` at `dtype`: the four corner cases
+/// (full/edge row × full/edge column) cover every tile, so the sum is four
+/// multiplications regardless of grid size. `density` applies the raw-layout
+/// scaling `max(ceil(bytes · d), 4)` per tile, matching the builders.
+pub fn grid_sum(grid: &TileGrid, dtype: DataType, density: Option<f64>) -> GridSum {
+    let (rows, cols) = (grid.rows(), grid.cols());
+    let scale = |raw: u64| -> u64 {
+        match density {
+            Some(d) => ((raw as f64 * d).ceil() as u64).max(4),
+            None => raw,
+        }
+    };
+    let corner = |r: u32, c: u32| scale(grid.tile_bytes(TileCoord::new(r, c), dtype));
+    let (fr, fc) = (rows as u64 - 1, cols as u64 - 1);
+    let bytes = fr * fc * corner(0, 0)
+        + fr * corner(0, cols - 1)
+        + fc * corner(rows - 1, 0)
+        + corner(rows - 1, cols - 1);
+    GridSum {
+        tiles: grid.num_tiles(),
+        bytes,
+    }
+}
+
+/// One grid axis for [`compute_sum`]: `count` tiles of extent `full`, the
+/// last of extent `last` (equal to `full` when the axis divides evenly).
+#[derive(Debug, Clone, Copy)]
+pub struct Axis {
+    /// Tile count along the axis (≥ 1).
+    pub count: u64,
+    /// Extent of every tile but the last.
+    pub full: u64,
+    /// Extent of the last tile.
+    pub last: u64,
+}
+
+impl Axis {
+    /// Sum `f` over all tiles of the axis.
+    fn sum(&self, f: impl Fn(u64) -> u64) -> u64 {
+        (self.count - 1) * f(self.full) + f(self.last)
+    }
+}
+
+/// Exact total systolic cycles of the `count_m × count_k × count_n` tile
+/// GEMM family whose per-op shape is `(m_i, k_j, n_l)`: the tile-cycle
+/// formula `⌈k/R⌉·⌈n/C⌉·max(m,R)` is a product of per-axis factors, so the
+/// triple sum factorises into three axis sums.
+pub fn compute_sum(engine: &Engine, m: Axis, k: Axis, n: Axis) -> u64 {
+    let pe = engine.systolic().pe();
+    let (rows, cols) = (pe.rows as u64, pe.cols as u64);
+    m.sum(|v| v.max(rows)) * k.sum(|v| v.div_ceil(rows)) * n.sum(|v| v.div_ceil(cols))
+}
+
+/// Accumulates the closed-form lower-bound terms of one candidate
+/// execution; [`BoundAccum::finish`] assembles the admissible
+/// [`AnalyticReport`].
+#[derive(Debug, Clone, Default)]
+pub struct BoundAccum {
+    /// Exact serial compute cycles.
+    pub compute_cycles: u64,
+    /// Compulsory per-class traffic (reads: clean first touches per
+    /// region; writes: accumulator totals).
+    pub traffic: Traffic,
+    /// Memory-channel bytes floor (≥ compulsory; may include capacity
+    /// window terms that cannot be attributed to a class).
+    pub mem_bytes: u64,
+    /// Guaranteed fetch bursts (distinct clean first touches per region)
+    /// plus non-empty stream ops — each costs one burst latency.
+    pub bursts: u64,
+    /// Extra cycles serialised after the overlapped timelines (e.g.
+    /// cross-partition reductions, added exactly as the pipeline does).
+    pub serial_cycles: u64,
+    /// Compulsory-miss floor (every distinct tile per region).
+    pub misses: u64,
+    /// Exact total tile accesses.
+    pub accesses: u64,
+    /// Exact tile-GEMM count.
+    pub gemm_ops: u64,
+    /// Exact MAC count.
+    pub macs: u64,
+    /// Exact SPM bytes touched (sum of all access bytes).
+    pub spm_bytes_touched: u64,
+}
+
+impl BoundAccum {
+    /// Merge another accumulator (independent schedule parts executed
+    /// back-to-back on one core).
+    pub fn merge(&mut self, other: &BoundAccum) {
+        self.compute_cycles += other.compute_cycles;
+        self.traffic.merge(&other.traffic);
+        self.mem_bytes += other.mem_bytes;
+        self.bursts += other.bursts;
+        self.serial_cycles += other.serial_cycles;
+        self.misses += other.misses;
+        self.accesses += other.accesses;
+        self.gemm_ops += other.gemm_ops;
+        self.macs += other.macs;
+        self.spm_bytes_touched += other.spm_bytes_touched;
+    }
+
+    /// The cycle lower bound alone (for candidate pruning).
+    pub fn cycles(&self, engine: &Engine) -> u64 {
+        let mem = (self.mem_bytes as f64 / engine.bytes_per_cycle()
+            + (self.bursts * engine.burst_latency()) as f64)
+            .ceil() as u64;
+        self.compute_cycles.max(mem) + self.serial_cycles
+    }
+
+    /// Assemble the admissible report.
+    pub fn finish(&self, engine: &Engine) -> AnalyticReport {
+        let mem_cycles = (self.mem_bytes as f64 / engine.bytes_per_cycle()
+            + (self.bursts * engine.burst_latency()) as f64)
+            .ceil() as u64;
+        AnalyticReport {
+            report: SimReport {
+                cycles: self.cycles(engine),
+                compute_cycles: self.compute_cycles,
+                mem_cycles,
+                traffic: self.traffic,
+                spm_hits: self.accesses - self.misses,
+                spm_misses: self.misses,
+                gemm_ops: self.gemm_ops,
+                macs: self.macs,
+                spm_bytes_touched: self.spm_bytes_touched,
+            },
+            exactness: Exactness::LowerBound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PeArray;
+    use crate::trace::Schedule;
+    use crate::SystolicModel;
+
+    fn engine() -> Engine {
+        Engine::with_params(SystolicModel::new(PeArray::new(16, 16)), 16.0, 10, 4000)
+    }
+
+    /// Emit the same op stream into a Schedule and a collector; the replay
+    /// must match the engine bit for bit.
+    #[test]
+    fn replay_matches_engine_on_handwritten_stream() {
+        let mut s = Schedule::new("t");
+        let dy = s.add_tensor(TensorClass::OutGrad, "dY");
+        let dx = s.add_tensor(TensorClass::InGrad, "dX");
+        let mut c = AnalyticCollector::new();
+        let grid = TileGrid::new(
+            igo_tensor::MatrixDims::new(64, 64),
+            igo_tensor::TileShape::square(16),
+        );
+        c.register_tensor(dy, TensorClass::OutGrad, &grid);
+        c.register_tensor(dx, TensorClass::InGrad, &grid);
+
+        let shape = GemmShape::new(16, 16, 16);
+        let mut ops: Vec<TileOpSpec> = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                ops.push(
+                    TileOpSpec::new(shape)
+                        .read(dy, TileCoord::new(i, j), 1024)
+                        .accumulate(dx, TileCoord::new(j, i), 1024),
+                );
+            }
+        }
+        // A barrier in the middle exercises flush/clear and the sentinel.
+        for (n, op) in ops.iter().enumerate() {
+            if n == 7 {
+                ScheduleSink::barrier(&mut s);
+                c.barrier();
+            }
+            ScheduleSink::gemm(&mut s, op);
+            c.gemm(op);
+        }
+
+        let e = engine();
+        let expected = e.run(&s);
+        let got = c.replay(&e, &mut AnalyticScratch::new());
+        assert_eq!(got.exactness, Exactness::Exact);
+        assert_eq!(got.report, expected);
+    }
+
+    #[test]
+    fn replay_counts_are_tracked() {
+        let before = analytic_run_count();
+        let c = AnalyticCollector::new();
+        let _ = c.replay(&engine(), &mut AnalyticScratch::new());
+        assert!(analytic_run_count() > before);
+    }
+
+    #[test]
+    fn grid_sum_matches_exhaustive_iteration() {
+        let grid = TileGrid::new(
+            igo_tensor::MatrixDims::new(130, 65),
+            igo_tensor::TileShape::square(16),
+        );
+        let dtype = DataType::F32;
+        for density in [None, Some(0.37)] {
+            let mut bytes = 0u64;
+            for r in 0..grid.rows() {
+                for c in 0..grid.cols() {
+                    let raw = grid.tile_bytes(TileCoord::new(r, c), dtype);
+                    bytes += match density {
+                        Some(d) => ((raw as f64 * d).ceil() as u64).max(4),
+                        None => raw,
+                    };
+                }
+            }
+            let s = grid_sum(&grid, dtype, density);
+            assert_eq!(s.bytes, bytes);
+            assert_eq!(s.tiles, grid.num_tiles());
+        }
+    }
+
+    #[test]
+    fn compute_sum_matches_per_op_totals() {
+        let e = engine();
+        // 3x2x2 tile family with ragged edges in every axis.
+        let m = Axis {
+            count: 3,
+            full: 16,
+            last: 5,
+        };
+        let k = Axis {
+            count: 2,
+            full: 16,
+            last: 9,
+        };
+        let n = Axis {
+            count: 2,
+            full: 16,
+            last: 1,
+        };
+        let mut expected = 0u64;
+        for mi in [16u64, 16, 5] {
+            for kj in [16u64, 9] {
+                for nl in [16u64, 1] {
+                    expected += e.systolic().tile_cycles(GemmShape::new(mi, kj, nl));
+                }
+            }
+        }
+        assert_eq!(compute_sum(&e, m, k, n), expected);
+    }
+}

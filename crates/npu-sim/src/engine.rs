@@ -187,8 +187,12 @@ impl Engine {
     /// the compulsory traffic alone: within each barrier-delimited segment,
     /// each distinct tile whose first access is a clean read is fetched at
     /// least once, each tile that is ever written is written back at least
-    /// once, and stream ops always move their bytes. Per-burst latency is
-    /// ignored (it only adds time).
+    /// once, and stream ops always move their bytes. On top of the byte
+    /// time, every compulsory fetch and every non-empty stream op costs at
+    /// least one DRAM burst latency: the engine charges `bursts × latency`
+    /// per tile op (one burst per fetched access) and one latency per
+    /// stream op, so counting each distinct clean first touch once per
+    /// segment stays under the simulated total.
     pub fn lower_bound(&self, schedule: &Schedule) -> u64 {
         self.lower_bound_concat(std::slice::from_ref(schedule))
     }
@@ -204,11 +208,19 @@ impl Engine {
         }
         let mut compute: u64 = 0;
         let mut bytes_lb: u64 = 0;
+        let mut bursts_lb: u64 = 0;
         let mut seen: HashMap<TileKey, SegTile> = HashMap::new();
-        fn drain_segment(seen: &mut HashMap<TileKey, SegTile>, bytes_lb: &mut u64) {
+        fn drain_segment(
+            seen: &mut HashMap<TileKey, SegTile>,
+            bytes_lb: &mut u64,
+            bursts: &mut u64,
+        ) {
             for (_, t) in seen.drain() {
                 if t.first_clean {
                     *bytes_lb += t.bytes;
+                    if t.bytes > 0 {
+                        *bursts += 1;
+                    }
                 }
                 if t.written {
                     *bytes_lb += t.bytes;
@@ -239,13 +251,20 @@ impl Engine {
                             touch(&mut seen, a.key, a.bytes, true);
                         }
                     }
-                    ScheduleOp::Stream(st) => bytes_lb += st.read_bytes + st.write_bytes,
-                    ScheduleOp::Barrier => drain_segment(&mut seen, &mut bytes_lb),
+                    ScheduleOp::Stream(st) => {
+                        let bytes = st.read_bytes + st.write_bytes;
+                        bytes_lb += bytes;
+                        if bytes > 0 {
+                            bursts_lb += 1;
+                        }
+                    }
+                    ScheduleOp::Barrier => drain_segment(&mut seen, &mut bytes_lb, &mut bursts_lb),
                 }
             }
         }
-        drain_segment(&mut seen, &mut bytes_lb);
-        let mem = (bytes_lb as f64 / self.bytes_per_cycle).ceil() as u64;
+        drain_segment(&mut seen, &mut bytes_lb, &mut bursts_lb);
+        let mem = (bytes_lb as f64 / self.bytes_per_cycle + (bursts_lb * self.burst_latency) as f64)
+            .ceil() as u64;
         compute.max(mem)
     }
 

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod analysis;
+pub mod analytic;
 pub mod config;
 pub mod energy;
 pub mod engine;
@@ -58,12 +59,17 @@ pub mod systolic;
 pub mod trace;
 
 pub use analysis::{reuse_distances, reuse_profile, Reuse, ReuseProfile};
+pub use analytic::{
+    analytic_run_count, compute_sum, grid_sum, AnalyticCollector, AnalyticReport, AnalyticScratch,
+    Axis, BoundAccum, Exactness, GridSum, ReplayOptCache,
+};
 pub use config::{DramConfig, NpuConfig, PeArray};
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{engine_run_count, Engine, EngineScratch, Replacement};
 pub use multicore::{
-    reduction_cycles, run_multicore, run_multicore_with_scratch, run_sequential_partitions,
-    run_sequential_partitions_with_scratch, MultiCoreReport,
+    reduction_cycles, replay_multicore, replay_multicore_bounded, replay_sequential_partitions,
+    replay_sequential_partitions_bounded, run_multicore, run_multicore_with_scratch,
+    run_sequential_partitions, run_sequential_partitions_with_scratch, MultiCoreReport,
 };
 pub use opt::{DenseOptCache, OptCache};
 pub use recorder::{
@@ -73,4 +79,7 @@ pub use recorder::{
 pub use spm::SpmCache;
 pub use stats::{SimReport, Traffic};
 pub use systolic::SystolicModel;
-pub use trace::{Schedule, ScheduleOp, StreamOp, TensorId, TileKey, TileOp};
+pub use trace::{
+    Schedule, ScheduleOp, ScheduleSink, StreamOp, TensorId, TileAccessSpec, TileKey, TileOp,
+    TileOpSpec,
+};

@@ -19,6 +19,7 @@
 //! tensor's tiles — carries across partition boundaries, plus the same
 //! reduction traffic.
 
+use crate::analytic::{AnalyticCollector, AnalyticScratch};
 use crate::config::NpuConfig;
 use crate::engine::{Engine, EngineScratch};
 use crate::stats::{SimReport, Traffic};
@@ -195,6 +196,107 @@ pub fn run_sequential_partitions_with_scratch(
         cycles: report.cycles + reduction_cycles,
         traffic,
     }
+}
+
+/// [`run_multicore`] over analytic collectors instead of materialised
+/// schedules: each core's stream is replayed exactly, then the combine
+/// math (aggregate traffic, slowest core, reduction) is applied verbatim,
+/// so the result is bit-identical to running the equivalent schedules.
+///
+/// # Panics
+///
+/// Panics if more collectors than cores are supplied.
+pub fn replay_multicore(
+    config: &NpuConfig,
+    per_core: &[AnalyticCollector],
+    reduction: Option<StreamOp>,
+    scratch: &mut AnalyticScratch,
+) -> MultiCoreReport {
+    replay_multicore_bounded(config, per_core, reduction, scratch, None)
+        .expect("unbounded replay always completes")
+}
+
+/// [`replay_multicore`] with an optional cycle `cutoff`: returns `None` as
+/// soon as any core's replay proves the combined cycle count (slowest core
+/// plus reduction) must exceed `cutoff` — any single core exceeding the
+/// post-reduction budget is enough, since the makespan takes the maximum.
+pub fn replay_multicore_bounded(
+    config: &NpuConfig,
+    per_core: &[AnalyticCollector],
+    reduction: Option<StreamOp>,
+    scratch: &mut AnalyticScratch,
+    cutoff: Option<u64>,
+) -> Option<MultiCoreReport> {
+    assert!(
+        per_core.len() <= config.cores as usize,
+        "{} collectors for {} cores",
+        per_core.len(),
+        config.cores
+    );
+    let inner_cutoff = match cutoff {
+        // A budget smaller than the reduction alone is unmeetable.
+        Some(c) => Some(c.checked_sub(reduction_cycles(config, reduction))?),
+        None => None,
+    };
+    let engine = Engine::new(config);
+    let mut core_reports: Vec<SimReport> = Vec::with_capacity(per_core.len());
+    for c in per_core {
+        core_reports.push(c.replay_bounded(&engine, scratch, inner_cutoff)?.report);
+    }
+    let mut traffic = Traffic::new();
+    for r in &core_reports {
+        traffic.merge(&r.traffic);
+    }
+    let slowest = core_reports.iter().map(|r| r.cycles).max().unwrap_or(0);
+    let reduction_cycles = reduction_cost(config, reduction, &mut traffic);
+    Some(MultiCoreReport {
+        core_reports,
+        reduction_cycles,
+        cycles: slowest + reduction_cycles,
+        traffic,
+    })
+}
+
+/// [`run_sequential_partitions`] over one analytic collector holding the
+/// partitions' streams emitted back-to-back (the collector-side equivalent
+/// of [`Schedule::append_compatible`] concatenation — no barrier between
+/// segments, so residency crosses partition boundaries exactly as in the
+/// engine path).
+pub fn replay_sequential_partitions(
+    config: &NpuConfig,
+    combined: &AnalyticCollector,
+    reduction: Option<StreamOp>,
+    scratch: &mut AnalyticScratch,
+) -> MultiCoreReport {
+    replay_sequential_partitions_bounded(config, combined, reduction, scratch, None)
+        .expect("unbounded replay always completes")
+}
+
+/// [`replay_sequential_partitions`] with an optional cycle `cutoff`; see
+/// [`replay_multicore_bounded`].
+pub fn replay_sequential_partitions_bounded(
+    config: &NpuConfig,
+    combined: &AnalyticCollector,
+    reduction: Option<StreamOp>,
+    scratch: &mut AnalyticScratch,
+    cutoff: Option<u64>,
+) -> Option<MultiCoreReport> {
+    let inner_cutoff = match cutoff {
+        Some(c) => Some(c.checked_sub(reduction_cycles(config, reduction))?),
+        None => None,
+    };
+    let engine = Engine::new(config);
+    let report = combined
+        .replay_bounded(&engine, scratch, inner_cutoff)?
+        .report;
+    let mut traffic = report.traffic;
+    let reduction_cycles = reduction_cost(config, reduction, &mut traffic);
+    Some(MultiCoreReport {
+        core_reports: vec![report],
+        reduction_cycles,
+        cycles: report.cycles + reduction_cycles,
+        traffic,
+    })
 }
 
 #[cfg(test)]

@@ -106,6 +106,139 @@ impl TileOp {
     }
 }
 
+/// One tile access of a [`TileOpSpec`]: like [`TileAccess`] but with the
+/// tensor and coordinate kept separate so the spec stays `Copy` and cheap
+/// to produce in the schedule builders' hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileAccessSpec {
+    /// The tensor the tile belongs to.
+    pub tensor: TensorId,
+    /// Grid coordinates within the tensor.
+    pub coord: TileCoord,
+    /// Clipped tile size in bytes.
+    pub bytes: u64,
+}
+
+impl TileAccessSpec {
+    /// The `(tensor, coord)` pair as a [`TileKey`].
+    pub fn key(&self) -> TileKey {
+        TileKey {
+            tensor: self.tensor,
+            coord: self.coord,
+        }
+    }
+}
+
+/// A `Copy` description of one tiled GEMM, produced by schedule builders
+/// and consumed by a [`ScheduleSink`]. A [`Schedule`] sink materialises it
+/// as a [`TileOp`] (heap-allocated read list); the analytic collector
+/// consumes it without any allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileOpSpec {
+    /// Up to two operand reads, filled front-to-back.
+    pub reads: [Option<TileAccessSpec>; 2],
+    /// The accumulator tile, if any.
+    pub acc: Option<TileAccessSpec>,
+    /// Dimensions of the tile GEMM performed.
+    pub compute: GemmShape,
+}
+
+impl TileOpSpec {
+    /// Start building a spec that performs `compute`.
+    pub fn new(compute: GemmShape) -> Self {
+        Self {
+            reads: [None, None],
+            acc: None,
+            compute,
+        }
+    }
+
+    /// Add an operand tile read (order-preserving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both read slots are already taken.
+    #[must_use]
+    pub fn read(mut self, tensor: TensorId, coord: TileCoord, bytes: u64) -> Self {
+        let spec = TileAccessSpec {
+            tensor,
+            coord,
+            bytes,
+        };
+        if self.reads[0].is_none() {
+            self.reads[0] = Some(spec);
+        } else if self.reads[1].is_none() {
+            self.reads[1] = Some(spec);
+        } else {
+            panic!("tile op spec already has two reads");
+        }
+        self
+    }
+
+    /// Set the accumulator tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an accumulator was already set.
+    #[must_use]
+    pub fn accumulate(mut self, tensor: TensorId, coord: TileCoord, bytes: u64) -> Self {
+        assert!(
+            self.acc.is_none(),
+            "tile op spec already has an accumulator"
+        );
+        self.acc = Some(TileAccessSpec {
+            tensor,
+            coord,
+            bytes,
+        });
+        self
+    }
+
+    /// Materialise as a [`TileOp`], preserving read order exactly.
+    pub fn to_tile_op(&self) -> TileOp {
+        let mut op = TileOp::new(self.compute);
+        for r in self.reads.iter().flatten() {
+            op = op.read(r.tensor, r.coord, r.bytes);
+        }
+        if let Some(a) = self.acc {
+            op = op.accumulate(a.tensor, a.coord, a.bytes);
+        }
+        op
+    }
+}
+
+/// Receiver of a schedule builder's op stream.
+///
+/// The backward/forward builders in `igo-core` are generic over this trait:
+/// emitting into a [`Schedule`] materialises the stream for the cycle
+/// engine, while emitting into the analytic collector
+/// ([`crate::analytic::AnalyticCollector`]) evaluates the same stream
+/// without building per-op heap structures. Both receivers see the ops in
+/// the identical order with identical contents, which is what makes the
+/// analytic replay bit-exact.
+pub trait ScheduleSink {
+    /// Receive one tiled GEMM.
+    fn gemm(&mut self, op: &TileOpSpec);
+    /// Receive a pure data-movement op.
+    fn stream(&mut self, op: StreamOp);
+    /// Receive a kernel boundary.
+    fn barrier(&mut self);
+}
+
+impl ScheduleSink for Schedule {
+    fn gemm(&mut self, op: &TileOpSpec) {
+        self.push_gemm(op.to_tile_op());
+    }
+
+    fn stream(&mut self, op: StreamOp) {
+        self.push_stream(op);
+    }
+
+    fn barrier(&mut self) {
+        self.push_barrier();
+    }
+}
+
 /// A pure data-movement operation (no compute): used for cross-partition
 /// reductions and element-wise passes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

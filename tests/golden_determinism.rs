@@ -23,6 +23,7 @@ const OPTIMIZED: SimOptions = SimOptions {
     memoize: true,
     prune: true,
     workers: 3,
+    analytic_fast_path: true,
 };
 
 /// Every distinct zoo model (the union of the server and edge suites).
