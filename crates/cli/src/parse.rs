@@ -93,12 +93,15 @@ pub fn parse_technique(arg: &str) -> Option<Technique> {
 }
 
 /// Parse a comma-separated SPM ladder in MiB (e.g. `3,6,12,24`); every
-/// rung must be a positive integer.
+/// rung must be a positive integer. Rungs are sorted ascending and
+/// deduplicated, so `24,3,3` and `3,24` name the same ladder.
 pub fn parse_spm_ladder(arg: &str) -> Option<Vec<u64>> {
-    let rungs: Vec<u64> = arg
+    let mut rungs: Vec<u64> = arg
         .split(',')
         .map(|p| p.trim().parse::<u64>().ok().filter(|&v| v > 0))
         .collect::<Option<Vec<u64>>>()?;
+    rungs.sort_unstable();
+    rungs.dedup();
     if rungs.is_empty() {
         None
     } else {
@@ -187,6 +190,10 @@ mod tests {
     fn parses_spm_ladders_and_technique_lists() {
         assert_eq!(parse_spm_ladder("3,6,12"), Some(vec![3, 6, 12]));
         assert_eq!(parse_spm_ladder(" 24 "), Some(vec![24]));
+        // Out-of-order and repeated rungs normalize to a sorted, unique
+        // ladder: the ladder is a set of capacities, not a sequence.
+        assert_eq!(parse_spm_ladder("24,3,3"), Some(vec![3, 24]));
+        assert_eq!(parse_spm_ladder("12,6,12,6"), Some(vec![6, 12]));
         assert!(parse_spm_ladder("3,0").is_none());
         assert!(parse_spm_ladder("3,x").is_none());
         assert!(parse_spm_ladder("").is_none());

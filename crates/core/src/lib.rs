@@ -64,8 +64,8 @@ pub use partition::PartitionScheme;
 pub use pipeline::{
     rearranged_order, simulate_layer_backward, simulate_layer_backward_ex,
     simulate_layer_backward_with, simulate_layer_forward, simulate_layer_forward_ex,
-    simulate_layer_forward_with, simulate_model, simulate_model_with, LayerDecision, LayerOutcome,
-    ModelReport, SimOptions, TrainingPhase,
+    simulate_layer_forward_with, simulate_model, simulate_model_ladder, simulate_model_with,
+    LayerDecision, LayerOutcome, ModelReport, SimOptions, TrainingPhase,
 };
 pub use report_io::{
     chrome_trace_json, dy_reuse_csv, dy_tiles_csv, ladder_csv, layers_csv, trace_metrics_csv,
@@ -74,8 +74,8 @@ pub use report_io::{
 pub use schedule::{BackwardBuilder, BackwardOrder, LayerTensors};
 pub use select::select_order;
 pub use simcache::{
-    set_sim_cache_cap, sim_cache_cap, sim_cache_len, sim_cache_stats, CacheStats,
-    ConfigFingerprint, CACHE_CAP_ENV, DEFAULT_CACHE_CAP,
+    set_sim_cache_cap, sim_cache_cap, sim_cache_len, sim_cache_stats, sim_profile_cache_len,
+    CacheStats, ConfigFingerprint, CACHE_CAP_ENV, DEFAULT_CACHE_CAP,
 };
 pub use technique::Technique;
 pub use tiling::TilePolicy;

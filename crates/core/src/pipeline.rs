@@ -37,18 +37,23 @@ use crate::bound::{multicore_candidate_bound, plain_candidate_bound, sequential_
 use crate::parallel::parallel_map_workers;
 use crate::partition::{
     partition_backward_ex, partition_forward_ex, plan_partition_backward, plan_partition_forward,
-    PartitionScheme,
+    PartitionPlan, PartitionScheme,
 };
-use crate::schedule::{forward_schedule, BackwardBuilder, BackwardOrder, LayerTensors};
+use crate::schedule::{
+    forward_emission_signature, forward_schedule, BackwardBuilder, BackwardOrder, EmissionSig,
+    LayerTensors,
+};
 use crate::select::select_order;
 use crate::simcache;
+use crate::simcache::{ConfigFingerprint, ProfilePass};
 use crate::technique::Technique;
 use crate::tiling::TilePolicy;
 use igo_npu_sim::{
-    reduction_cycles, replay_multicore, replay_multicore_bounded,
+    reduction_cycles, replay_ladder, replay_multicore, replay_multicore_bounded,
     replay_sequential_partitions_bounded, run_multicore_with_scratch,
-    run_sequential_partitions_with_scratch, AnalyticCollector, AnalyticScratch, Engine,
-    EngineScratch, NpuConfig, Schedule, SimReport, StreamOp, TensorId, Traffic,
+    run_sequential_partitions_with_scratch, sequential_combined, AnalyticCollector,
+    AnalyticScratch, Engine, EngineScratch, LadderScratch, NpuConfig, Schedule, SimReport,
+    StreamOp, TensorId, Traffic,
 };
 use igo_tensor::GemmShape;
 use igo_workloads::{Layer, Model};
@@ -85,6 +90,13 @@ pub struct SimOptions {
     /// bit-identical to [`Engine::run`]) and pruning uses the closed-form
     /// bounds of [`crate::bound`] instead of per-schedule scans.
     pub analytic_fast_path: bool,
+    /// Evaluate SPM-capacity ladders with one capacity-oblivious profiling
+    /// pass per candidate schedule ([`igo_npu_sim::replay_ladder`]) and
+    /// memoize the resulting capacity curves keyed *without* the SPM size,
+    /// so `(model, technique)` points are profiled once and every ladder
+    /// rung is answered from the same pass. Only affects
+    /// [`simulate_model_ladder`]; requires `analytic_fast_path`.
+    pub capacity_profile: bool,
 }
 
 impl SimOptions {
@@ -96,6 +108,7 @@ impl SimOptions {
             prune: true,
             workers: 0,
             analytic_fast_path: true,
+            capacity_profile: true,
         }
     }
 
@@ -108,6 +121,7 @@ impl SimOptions {
             prune: false,
             workers: 0,
             analytic_fast_path: false,
+            capacity_profile: false,
         }
     }
 }
@@ -297,6 +311,7 @@ fn fast_layer_tensors() -> (LayerTensors, u32) {
 struct FastScratch {
     collectors: Vec<AnalyticCollector>,
     replay: AnalyticScratch,
+    ladder: LadderScratch,
 }
 
 /// The first `n` collectors of `pool`, cleared, growing the pool on demand.
@@ -366,7 +381,9 @@ impl FastCandidate {
         s: &mut FastScratch,
     ) -> Option<SimReport> {
         let order = self.decision.order;
-        let FastScratch { collectors, replay } = s;
+        let FastScratch {
+            collectors, replay, ..
+        } = s;
         match &self.exec {
             FastExec::Single(builder) => {
                 let c = &mut cleared_collectors(collectors, 1)[0];
@@ -485,7 +502,9 @@ pub fn simulate_layer_forward_with(
         let (tensors, first_free_id) = fast_layer_tensors();
         let engine = Engine::new(config);
         with_fast_scratch(|scratch| {
-            let FastScratch { collectors, replay } = scratch;
+            let FastScratch {
+                collectors, replay, ..
+            } = scratch;
             if config.cores == 1 {
                 let c = &mut cleared_collectors(collectors, 1)[0];
                 BackwardBuilder::new(gemm, policy, tensors).register_grids(c);
@@ -949,6 +968,636 @@ fn partition_candidates(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Capacity-ladder evaluation
+// ---------------------------------------------------------------------------
+//
+// An SPM sweep simulates the same `(model, technique)` point at several SPM
+// capacities whose configs are otherwise identical. The candidate *set* is
+// capacity-independent, and a candidate's access stream depends on capacity
+// only through its blocking factors ([`EmissionSig`]); everything else about
+// the replay — the next-use oracle, region footprints, compute totals — is
+// shared by [`replay_ladder`] across all rungs of one pass. The functions
+// below exploit both: rungs whose emission signatures coincide share one
+// emission + one ladder replay, and every exact replay is memoized in a
+// capacity-*oblivious* profile cache ([`crate::simcache`]) so a candidate
+// schedule re-encountered under any other technique, sweep arm or SPM size
+// is answered without replaying at all. All selection semantics (lexicographic
+// `(cycles, candidate index)` winner, admissible bound skips, cutoff aborts)
+// mirror [`select_best_fast`] per rung, so the reports and decisions are
+// bit-identical to evaluating each rung independently.
+
+/// A validated SPM ladder: single-core configs identical except for their
+/// strictly ascending SPM capacities.
+struct LadderRungs {
+    configs: Vec<NpuConfig>,
+    engines: Vec<Engine>,
+    policies: Vec<TilePolicy>,
+    /// Per-rung analytic SPM capacity ([`Engine::residency_bytes`]).
+    capacities: Vec<u64>,
+}
+
+impl LadderRungs {
+    fn len(&self) -> usize {
+        self.configs.len()
+    }
+}
+
+/// Validate `configs` as a capacity ladder the profile path can serve.
+/// Returns `None` (callers fall back to per-config simulation) unless the
+/// options enable the profile path, all configs are single-core and equal
+/// up to SPM size, and both the SPM sizes and the derived analytic
+/// capacities are strictly ascending.
+fn ladder_rungs(configs: &[NpuConfig], options: &SimOptions) -> Option<LadderRungs> {
+    if configs.len() < 2 || !options.analytic_fast_path || !options.capacity_profile {
+        return None;
+    }
+    if configs.iter().any(|c| c.cores != 1) {
+        return None;
+    }
+    let fp0 = ConfigFingerprint::sans_spm(&configs[0]);
+    if configs
+        .iter()
+        .any(|c| ConfigFingerprint::sans_spm(c) != fp0)
+    {
+        return None;
+    }
+    if !configs.windows(2).all(|w| w[0].spm_bytes < w[1].spm_bytes) {
+        return None;
+    }
+    let engines: Vec<Engine> = configs.iter().map(Engine::new).collect();
+    let capacities: Vec<u64> = engines.iter().map(Engine::residency_bytes).collect();
+    if !capacities.windows(2).all(|w| w[0] < w[1]) {
+        return None;
+    }
+    Some(LadderRungs {
+        configs: configs.to_vec(),
+        policies: configs.iter().map(TilePolicy::for_config).collect(),
+        engines,
+        capacities,
+    })
+}
+
+/// Simulate one layer's forward pass at every rung of the ladder, grouping
+/// rungs with identical emission signatures into one profiling pass.
+fn ladder_forward(
+    gemm: GemmShape,
+    density: f64,
+    rungs: &LadderRungs,
+    options: &SimOptions,
+) -> Vec<SimReport> {
+    let n = rungs.len();
+    let mut out: Vec<Option<SimReport>> = vec![None; n];
+    if options.memoize {
+        for (r, config) in rungs.configs.iter().enumerate() {
+            out[r] = simcache::get_forward(gemm, density, config);
+        }
+        if out.iter().any(Option::is_none) {
+            if let Some(curve) =
+                simcache::get_profile(gemm, density, &rungs.configs[0], ProfilePass::Forward)
+            {
+                for (r, config) in rungs.configs.iter().enumerate() {
+                    if out[r].is_none() {
+                        if let Ok(i) = curve.binary_search_by_key(&config.spm_bytes, |&(s, _)| s) {
+                            out[r] = Some(curve[i].1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let missing: Vec<usize> = (0..n).filter(|&r| out[r].is_none()).collect();
+    if !missing.is_empty() {
+        let (tensors, _) = fast_layer_tensors();
+        let mut groups: Vec<(EmissionSig, Vec<usize>)> = Vec::new();
+        for &r in &missing {
+            let sig = forward_emission_signature(gemm, rungs.policies[r]);
+            match groups.iter_mut().find(|(g, _)| *g == sig) {
+                Some((_, v)) => v.push(r),
+                None => groups.push((sig, vec![r])),
+            }
+        }
+        let mut fresh: Vec<(u64, SimReport)> = Vec::new();
+        with_fast_scratch(|s| {
+            let FastScratch {
+                collectors, ladder, ..
+            } = s;
+            for (_, group) in &groups {
+                let lead = group[0];
+                let c = &mut cleared_collectors(collectors, 1)[0];
+                BackwardBuilder::new(gemm, rungs.policies[lead], tensors).register_grids(c);
+                forward_schedule(gemm, rungs.policies[lead], tensors, density, c);
+                let caps: Vec<u64> = group.iter().map(|&r| rungs.capacities[r]).collect();
+                let cuts = vec![None; group.len()];
+                let reports = replay_ladder(c, &rungs.engines[lead], &caps, &cuts, ladder);
+                for (&r, rep) in group.iter().zip(reports) {
+                    let rep = rep.expect("unbounded ladder replay completes").report;
+                    out[r] = Some(rep);
+                    fresh.push((rungs.configs[r].spm_bytes, rep));
+                }
+            }
+        });
+        if options.memoize {
+            for &r in &missing {
+                simcache::put_forward(gemm, density, &rungs.configs[r], out[r].unwrap());
+            }
+            simcache::put_profile(
+                gemm,
+                density,
+                &rungs.configs[0],
+                ProfilePass::Forward,
+                &fresh,
+            );
+        }
+    }
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+/// One capacity-independent backward candidate of a ladder evaluation.
+/// Mirrors the construction order of [`fast_backward_uncached`] exactly, so
+/// the per-rung lexicographic `(cycles, index)` winner is the same.
+struct LadderCandidate {
+    decision: LayerDecision,
+    /// Profile-cache identity of this candidate's schedule.
+    pass: ProfilePass,
+    kind: LadderKind,
+}
+
+enum LadderKind {
+    /// One emission stream on the single core.
+    Plain(BackwardOrder),
+    /// Partition segments chained on the single core, then a reduction.
+    Seq {
+        plan: PartitionPlan,
+        scheme: PartitionScheme,
+        /// The *requested* split count fed to the closed-form bound (the
+        /// plan may realise fewer parts on small layers).
+        parts: u64,
+        order: BackwardOrder,
+    },
+}
+
+/// The capacity-independent candidate set for one `(technique, layer)`
+/// point — [`fast_backward_uncached`]'s single-core candidate enumeration
+/// with emission deferred.
+fn ladder_candidates(
+    gemm: GemmShape,
+    density: f64,
+    rungs: &LadderRungs,
+    technique: Technique,
+    is_first: bool,
+    tensors: LayerTensors,
+    first_free_id: u32,
+) -> Vec<LadderCandidate> {
+    let plain = |order: BackwardOrder| LadderCandidate {
+        decision: LayerDecision {
+            order,
+            partition: None,
+        },
+        pass: ProfilePass::Plain { order, is_first },
+        kind: LadderKind::Plain(order),
+    };
+    match technique {
+        Technique::Baseline => vec![plain(BackwardOrder::Baseline)],
+        Technique::IdealDyReuse => vec![plain(BackwardOrder::IdealDyReuse)],
+        Technique::Interleaving => vec![plain(BackwardOrder::Interleaved)],
+        Technique::Rearrangement => vec![plain(rearranged_order(gemm, &rungs.configs[0]))],
+        Technique::RearrangementOracle => vec![
+            plain(BackwardOrder::Interleaved),
+            plain(BackwardOrder::DxMajor),
+            plain(BackwardOrder::DwMajor),
+        ],
+        Technique::DataPartitioning => {
+            let algorithm1 = |g: GemmShape| BackwardOrder::from(select_order(g));
+            let mut out: Vec<LadderCandidate> =
+                dedup_orders([algorithm1(gemm), BackwardOrder::Baseline])
+                    .into_iter()
+                    .map(plain)
+                    .collect();
+            for scheme in PartitionScheme::ALL {
+                for parts in SINGLE_CORE_PART_CANDIDATES {
+                    let sub = gemm.split(scheme.split_dim(), parts)[0];
+                    for order in dedup_orders([algorithm1(sub), BackwardOrder::Baseline]) {
+                        let mut next = first_free_id;
+                        let plan = plan_partition_backward(
+                            &mut |_class, _name| {
+                                let id = TensorId::from_raw(next);
+                                next += 1;
+                                id
+                            },
+                            tensors,
+                            gemm,
+                            density,
+                            rungs.policies[0].dtype,
+                            scheme,
+                            parts,
+                            is_first,
+                        );
+                        let realised = plan.sub_gemms.len() as u64;
+                        out.push(LadderCandidate {
+                            decision: LayerDecision {
+                                order,
+                                partition: Some((scheme, realised)),
+                            },
+                            pass: ProfilePass::Partition {
+                                scheme,
+                                parts: realised,
+                                order,
+                                is_first,
+                            },
+                            kind: LadderKind::Seq {
+                                plan,
+                                scheme,
+                                parts,
+                                order,
+                            },
+                        });
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The rung-`r` builders of one candidate (plain builders are shared
+/// across candidates, partition sub-builders are built per candidate).
+enum BuiltSet<'a> {
+    Plain(&'a BackwardBuilder),
+    Seq(Vec<BackwardBuilder>),
+}
+
+impl BuiltSet<'_> {
+    fn signature(&self, order: BackwardOrder, is_first: bool) -> Vec<EmissionSig> {
+        match self {
+            BuiltSet::Plain(b) => vec![b.emission_signature(order, is_first)],
+            BuiltSet::Seq(v) => v
+                .iter()
+                .map(|b| b.emission_signature(order, is_first))
+                .collect(),
+        }
+    }
+}
+
+fn update_best(best: &mut Option<(usize, SimReport)>, ci: usize, rep: SimReport) {
+    let wins = match best {
+        None => true,
+        Some((bi, b)) => (rep.cycles, ci) < (b.cycles, *bi),
+    };
+    if wins {
+        *best = Some((ci, rep));
+    }
+}
+
+/// Simulate one layer's backward pass at every rung of the ladder. Per
+/// rung this reproduces [`select_best_fast`]'s winner bit for bit; across
+/// rungs, each candidate is emitted once per distinct emission signature
+/// and replayed for all matching rungs in one [`replay_ladder`] pass, with
+/// exact results memoized capacity-obliviously.
+fn ladder_backward(
+    gemm: GemmShape,
+    density: f64,
+    rungs: &LadderRungs,
+    technique: Technique,
+    is_first: bool,
+    options: &SimOptions,
+) -> Vec<(SimReport, LayerDecision)> {
+    let n = rungs.len();
+    let mut done: Vec<Option<(SimReport, LayerDecision)>> = vec![None; n];
+    if options.memoize {
+        for (r, config) in rungs.configs.iter().enumerate() {
+            done[r] = simcache::get_backward(gemm, density, config, technique, is_first);
+        }
+    }
+    let todo: Vec<usize> = (0..n).filter(|&r| done[r].is_none()).collect();
+    if todo.is_empty() {
+        return done.into_iter().map(Option::unwrap).collect();
+    }
+
+    let (tensors, first_free_id) = fast_layer_tensors();
+    let cands = ladder_candidates(
+        gemm,
+        density,
+        rungs,
+        technique,
+        is_first,
+        tensors,
+        first_free_id,
+    );
+
+    // Exact combined report of candidate `ci` at rung `r`, once known.
+    let mut computed: Vec<Vec<Option<SimReport>>> = vec![vec![None; n]; cands.len()];
+    // Freshly replayed raw (pre-reduction) points for the profile cache.
+    let mut fresh: Vec<Vec<(u64, SimReport)>> = vec![Vec::new(); cands.len()];
+
+    // Fold memoized capacity curves in first: any rung of any candidate
+    // profiled before — under *any* technique or SPM ladder — is answered
+    // without replaying.
+    if options.memoize {
+        for (ci, cand) in cands.iter().enumerate() {
+            if let Some(curve) = simcache::get_profile(gemm, density, &rungs.configs[0], cand.pass)
+            {
+                for &r in &todo {
+                    if let Ok(i) =
+                        curve.binary_search_by_key(&rungs.configs[r].spm_bytes, |&(s, _)| s)
+                    {
+                        computed[ci][r] =
+                            Some(combine_candidate(cand, &rungs.configs[r], curve[i].1));
+                    }
+                }
+            }
+        }
+    }
+
+    // Running per-rung best as lexicographic minimum of (cycles, index) —
+    // fold order over candidates cannot change a lexicographic minimum.
+    let mut best: Vec<Option<(usize, SimReport)>> = vec![None; n];
+    for &r in &todo {
+        for (ci, rungs_of) in computed.iter().enumerate() {
+            if let Some(rep) = rungs_of[r] {
+                update_best(&mut best[r], ci, rep);
+            }
+        }
+    }
+
+    // Shared per-rung plain builders (every technique has plain candidates).
+    let plain_builders: Vec<BackwardBuilder> = rungs
+        .policies
+        .iter()
+        .map(|&policy| BackwardBuilder::new(gemm, policy, tensors).with_ifmap_density(density))
+        .collect();
+
+    // Closed-form admissible bounds per (candidate, rung), pruning only.
+    let bounds: Vec<Vec<u64>> = if options.prune {
+        cands
+            .iter()
+            .map(|cand| {
+                (0..n)
+                    .map(|r| match &cand.kind {
+                        _ if done[r].is_some() => u64::MAX,
+                        LadderKind::Plain(order) => plain_candidate_bound(
+                            &plain_builders[r],
+                            *order,
+                            is_first,
+                            &rungs.engines[r],
+                        ),
+                        LadderKind::Seq {
+                            scheme,
+                            parts,
+                            order,
+                            ..
+                        } => sequential_candidate_bound(
+                            &rungs.configs[r],
+                            &rungs.engines[r],
+                            tensors,
+                            gemm,
+                            density,
+                            rungs.policies[r],
+                            *scheme,
+                            *parts,
+                            *order,
+                            is_first,
+                        ),
+                    })
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Evaluation order: ascending best-case bound, like `select_best_fast`.
+    // Any visit order yields the same winner (skips and aborts only drop
+    // provably strictly-worse candidates); this one tightens cutoffs fastest.
+    let mut eval_order: Vec<usize> = (0..cands.len()).collect();
+    if options.prune {
+        eval_order.sort_by_key(|&ci| {
+            let key = todo
+                .iter()
+                .filter(|&&r| computed[ci][r].is_none())
+                .map(|&r| bounds[ci][r])
+                .min()
+                .unwrap_or(u64::MAX);
+            (key, ci)
+        });
+    }
+
+    with_fast_scratch(|s| {
+        let FastScratch {
+            collectors, ladder, ..
+        } = s;
+        for &ci in &eval_order {
+            let cand = &cands[ci];
+            // Rungs this candidate still needs, with their replay cutoffs:
+            // the running best (pruning only), minus the reduction for
+            // partition candidates (a budget below the reduction alone is
+            // unmeetable — mirrors `replay_sequential_partitions_bounded`).
+            let mut reps: Vec<(usize, Option<u64>)> = Vec::new();
+            for &r in &todo {
+                if computed[ci][r].is_some() {
+                    continue;
+                }
+                let outer = match &best[r] {
+                    Some((_, b)) if options.prune => {
+                        if bounds[ci][r] > b.cycles {
+                            continue;
+                        }
+                        Some(b.cycles)
+                    }
+                    _ => None,
+                };
+                match (&cand.kind, outer) {
+                    (LadderKind::Seq { plan, .. }, Some(c)) => {
+                        let red = reduction_cycles(&rungs.configs[r], plan.reduction);
+                        if let Some(inner) = c.checked_sub(red) {
+                            reps.push((r, Some(inner)));
+                        }
+                    }
+                    (_, outer) => reps.push((r, outer)),
+                }
+            }
+            if reps.is_empty() {
+                continue;
+            }
+            // Build the needed rungs' builders and group rungs whose
+            // emission signatures prove their streams identical.
+            let built: Vec<BuiltSet> = reps
+                .iter()
+                .map(|&(r, _)| match &cand.kind {
+                    LadderKind::Plain(_) => BuiltSet::Plain(&plain_builders[r]),
+                    LadderKind::Seq { plan, .. } => BuiltSet::Seq(
+                        plan.sub_gemms
+                            .iter()
+                            .zip(&plan.part_tensors)
+                            .map(|(&g, &t)| {
+                                BackwardBuilder::new(g, rungs.policies[r], t)
+                                    .with_ifmap_density(density)
+                            })
+                            .collect(),
+                    ),
+                })
+                .collect();
+            let order = cand.decision.order;
+            let mut groups: Vec<(Vec<EmissionSig>, Vec<usize>)> = Vec::new();
+            for (i, bs) in built.iter().enumerate() {
+                let sig = bs.signature(order, is_first);
+                match groups.iter_mut().find(|(g, _)| *g == sig) {
+                    Some((_, v)) => v.push(i),
+                    None => groups.push((sig, vec![i])),
+                }
+            }
+            for (_, members) in &groups {
+                let lead = members[0];
+                let c = &mut cleared_collectors(collectors, 1)[0];
+                match &built[lead] {
+                    BuiltSet::Plain(b) => {
+                        b.register_grids(c);
+                        b.emit(order, is_first, c);
+                    }
+                    BuiltSet::Seq(v) => {
+                        // Segments concatenate with no barrier, mirroring
+                        // `Schedule::append_compatible`.
+                        for b in v {
+                            b.register_grids(c);
+                        }
+                        for b in v {
+                            b.emit(order, is_first, c);
+                        }
+                    }
+                }
+                let caps: Vec<u64> = members
+                    .iter()
+                    .map(|&i| rungs.capacities[reps[i].0])
+                    .collect();
+                let cuts: Vec<Option<u64>> = members.iter().map(|&i| reps[i].1).collect();
+                let results = replay_ladder(c, &rungs.engines[reps[lead].0], &caps, &cuts, ladder);
+                for (&i, res) in members.iter().zip(results) {
+                    let r = reps[i].0;
+                    if let Some(a) = res {
+                        fresh[ci].push((rungs.configs[r].spm_bytes, a.report));
+                        let rep = combine_candidate(cand, &rungs.configs[r], a.report);
+                        computed[ci][r] = Some(rep);
+                        update_best(&mut best[r], ci, rep);
+                    }
+                }
+            }
+        }
+    });
+
+    for &r in &todo {
+        let (ci, rep) = best[r].expect("the first candidate at a rung replays uncut");
+        done[r] = Some((rep, cands[ci].decision));
+        if options.memoize {
+            simcache::put_backward(
+                gemm,
+                density,
+                &rungs.configs[r],
+                technique,
+                is_first,
+                rep,
+                cands[ci].decision,
+            );
+        }
+    }
+    if options.memoize {
+        for (ci, points) in fresh.iter().enumerate() {
+            simcache::put_profile(gemm, density, &rungs.configs[0], cands[ci].pass, points);
+        }
+    }
+    done.into_iter().map(Option::unwrap).collect()
+}
+
+/// Fold a raw replay report into the candidate's combined report: plain
+/// candidates are already combined; partition candidates pay the
+/// (capacity-independent) reduction on top — the exact math of
+/// [`run_sequential_partitions`]'s `.combined()`.
+///
+/// [`run_sequential_partitions`]: igo_npu_sim::run_sequential_partitions
+fn combine_candidate(cand: &LadderCandidate, config: &NpuConfig, raw: SimReport) -> SimReport {
+    match &cand.kind {
+        LadderKind::Plain(_) => raw,
+        LadderKind::Seq { plan, .. } => sequential_combined(config, raw, plan.reduction),
+    }
+}
+
+/// One layer at every rung of the ladder (indexes parallel `rungs`).
+fn layer_outcome_ladder(
+    layer: &Layer,
+    rungs: &LadderRungs,
+    technique: Technique,
+    options: &SimOptions,
+) -> Vec<LayerOutcome> {
+    let forward = ladder_forward(layer.gemm, layer.ifmap_density, rungs, options);
+    let backward = ladder_backward(
+        layer.gemm,
+        layer.ifmap_density,
+        rungs,
+        technique,
+        layer.is_first,
+        options,
+    );
+    forward
+        .into_iter()
+        .zip(backward)
+        .map(|(f, (b, decision))| LayerOutcome {
+            name: layer.name.clone(),
+            multiplicity: layer.count as u64 * layer.groups as u64,
+            forward: f,
+            backward: b,
+            decision,
+            gemm: layer.gemm,
+        })
+        .collect()
+}
+
+/// Simulate one model under `technique` at every SPM capacity of `configs`
+/// — one report per config, in order, each bit-identical to
+/// [`simulate_model_with`] on that config alone.
+///
+/// When `configs` forms a valid capacity ladder (single-core, identical up
+/// to strictly ascending SPM sizes) and the options enable the profile
+/// path, each candidate schedule is emitted once per distinct blocking
+/// signature and replayed for every matching rung in a single
+/// capacity-oblivious pass; otherwise this transparently falls back to
+/// per-config simulation.
+pub fn simulate_model_ladder(
+    model: &Model,
+    configs: &[NpuConfig],
+    technique: Technique,
+    options: &SimOptions,
+) -> Vec<ModelReport> {
+    let Some(rungs) = ladder_rungs(configs, options) else {
+        return configs
+            .iter()
+            .map(|c| simulate_model_with(model, c, technique, options))
+            .collect();
+    };
+    let per_layer: Vec<Vec<LayerOutcome>> = if options.parallel {
+        parallel_map_workers(
+            &model.layers,
+            options.workers,
+            || (),
+            |(), layer| layer_outcome_ladder(layer, &rungs, technique, options),
+        )
+    } else {
+        model
+            .layers
+            .iter()
+            .map(|layer| layer_outcome_ladder(layer, &rungs, technique, options))
+            .collect()
+    };
+    configs
+        .iter()
+        .enumerate()
+        .map(|(r, config)| ModelReport {
+            model: model.name.clone(),
+            config: config.name.clone(),
+            technique,
+            layers: per_layer.iter().map(|v| v[r].clone()).collect(),
+        })
+        .collect()
+}
+
 /// Per-layer outcome within a model report.
 #[derive(Debug, Clone)]
 pub struct LayerOutcome {
@@ -1262,6 +1911,7 @@ mod tests {
                             // Force a real pool even on a single-CPU machine.
                             workers: 3,
                             analytic_fast_path,
+                            capacity_profile: false,
                         };
                         let (got, got_d) = simulate_layer_backward_with(
                             gemm,
@@ -1323,6 +1973,73 @@ mod tests {
     }
 
     #[test]
+    fn capacity_ladder_matches_per_config_simulation() {
+        // The profile path must reproduce per-config simulation bit for bit
+        // at every rung — reports, traffic and decisions — for every
+        // technique, including partition candidates and a first layer.
+        let base = NpuConfig::large_single_core();
+        let configs: Vec<NpuConfig> = [3u64, 6, 12, 24]
+            .iter()
+            .map(|&mib| base.clone().with_spm_bytes(mib << 20))
+            .collect();
+        let model = igo_workloads::zoo::model(igo_workloads::ModelId::Ncf, 8);
+        let ladder_opts = SimOptions {
+            workers: 3,
+            ..SimOptions::optimized()
+        };
+        // The reference recomputes from scratch (no memo): a cache the
+        // ladder itself populated must not be able to vouch for the ladder.
+        let flat_opts = SimOptions {
+            capacity_profile: false,
+            memoize: false,
+            ..ladder_opts
+        };
+        for technique in Technique::ALL {
+            let got = simulate_model_ladder(&model, &configs, technique, &ladder_opts);
+            assert_eq!(got.len(), configs.len());
+            for (rung, config) in got.iter().zip(&configs) {
+                let want = simulate_model_with(&model, config, technique, &flat_opts);
+                assert_eq!(rung.config, want.config);
+                assert_eq!(rung.layers.len(), want.layers.len());
+                for (g, w) in rung.layers.iter().zip(&want.layers) {
+                    assert_eq!(g.forward, w.forward, "{technique} fwd @ {}", config.name);
+                    assert_eq!(g.backward, w.backward, "{technique} bwd @ {}", config.name);
+                    assert_eq!(g.decision, w.decision, "{technique} @ {}", config.name);
+                    assert_eq!(g.multiplicity, w.multiplicity);
+                }
+            }
+        }
+        assert!(
+            crate::simcache::sim_profile_cache_len() > 0,
+            "ladder runs must populate the capacity-profile cache"
+        );
+    }
+
+    #[test]
+    fn ladder_falls_back_on_invalid_ladders() {
+        // Unsorted capacities and multi-core configs are not ladders; the
+        // entry point must transparently serve them per config.
+        let base = NpuConfig::large_single_core();
+        let unsorted = vec![
+            base.clone().with_spm_bytes(24 << 20),
+            base.clone().with_spm_bytes(3 << 20),
+        ];
+        let opts = SimOptions {
+            workers: 3,
+            ..SimOptions::optimized()
+        };
+        let model = igo_workloads::zoo::model(igo_workloads::ModelId::Ncf, 8);
+        let got = simulate_model_ladder(&model, &unsorted, Technique::Rearrangement, &opts);
+        for (rung, config) in got.iter().zip(&unsorted) {
+            let want = simulate_model_with(&model, config, Technique::Rearrangement, &opts);
+            for (g, w) in rung.layers.iter().zip(&want.layers) {
+                assert_eq!(g.backward, w.backward);
+                assert_eq!(g.decision, w.decision);
+            }
+        }
+    }
+
+    #[test]
     fn memoized_layer_reuses_cached_result() {
         // A shape unique to this test so the cache interaction is its own.
         let config = NpuConfig::large_single_core();
@@ -1333,6 +2050,7 @@ mod tests {
             prune: false,
             workers: 0,
             analytic_fast_path: false,
+            capacity_profile: false,
         };
         let first =
             simulate_layer_backward_with(gemm, 1.0, &config, Technique::Interleaving, false, &opts);

@@ -13,11 +13,14 @@
 //! array, clock, SPM capacity, DRAM bandwidth and burst latency. Densities
 //! and clocks are `f64`s and are keyed by their bit patterns.
 
+use crate::partition::PartitionScheme;
 use crate::pipeline::LayerDecision;
+use crate::schedule::BackwardOrder;
 use crate::technique::Technique;
 use igo_npu_sim::{NpuConfig, SimReport};
 use igo_tensor::GemmShape;
 use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -47,6 +50,27 @@ impl ConfigFingerprint {
             spm_bytes: config.spm_bytes,
             bandwidth_bits: config.dram.bandwidth_bytes_per_sec.to_bits(),
             burst_latency: config.dram.burst_latency_cycles,
+        }
+    }
+
+    /// Fingerprint `config` with the SPM capacity zeroed out. This is the
+    /// key of the capacity-*oblivious* profile cache: one entry answers
+    /// every SPM size of an otherwise identical machine.
+    pub fn sans_spm(config: &NpuConfig) -> Self {
+        Self {
+            spm_bytes: 0,
+            ..Self::of(config)
+        }
+    }
+
+    /// Whether two fingerprints differ at most in their SPM capacity.
+    pub fn equal_sans_spm(&self, other: &Self) -> bool {
+        Self {
+            spm_bytes: 0,
+            ..*self
+        } == Self {
+            spm_bytes: 0,
+            ..*other
         }
     }
 }
@@ -82,13 +106,13 @@ pub const CACHE_CAP_ENV: &str = "IGO_SIM_CACHE_CAP";
 /// A bounded LRU map: recency is tracked with a lazy queue of
 /// `(key, stamp)` touches — an entry is live only under its latest stamp,
 /// so stale queue slots are skipped (and trimmed) instead of being moved.
-struct LruCache {
-    map: HashMap<CacheKey, (CacheEntry, u64)>,
-    queue: VecDeque<(CacheKey, u64)>,
+struct LruCache<K, V> {
+    map: HashMap<K, (V, u64)>,
+    queue: VecDeque<(K, u64)>,
     clock: u64,
 }
 
-impl LruCache {
+impl<K: Eq + Hash + Copy, V: Clone> LruCache<K, V> {
     fn new() -> Self {
         Self {
             map: HashMap::new(),
@@ -97,7 +121,7 @@ impl LruCache {
         }
     }
 
-    fn touch(&mut self, k: CacheKey) -> u64 {
+    fn touch(&mut self, k: K) -> u64 {
         self.clock += 1;
         self.queue.push_back((k, self.clock));
         self.clock
@@ -115,12 +139,12 @@ impl LruCache {
         }
     }
 
-    fn get(&mut self, k: &CacheKey) -> Option<CacheEntry> {
+    fn get(&mut self, k: &K) -> Option<V> {
         let stamp = self.touch(*k);
         let got = match self.map.get_mut(k) {
             Some((entry, s)) => {
                 *s = stamp;
-                Some(*entry)
+                Some(entry.clone())
             }
             None => None,
         };
@@ -128,7 +152,7 @@ impl LruCache {
         got
     }
 
-    fn insert(&mut self, k: CacheKey, entry: CacheEntry, cap: usize) {
+    fn insert(&mut self, k: K, entry: V, cap: usize) {
         let stamp = self.touch(k);
         self.map.insert(k, (entry, stamp));
         while self.map.len() > cap {
@@ -142,14 +166,14 @@ impl LruCache {
     }
 }
 
-static CACHE: OnceLock<Mutex<LruCache>> = OnceLock::new();
+static CACHE: OnceLock<Mutex<LruCache<CacheKey, CacheEntry>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 /// Capacity override; `usize::MAX` means "unset, read the environment".
 static CAP: AtomicUsize = AtomicUsize::new(usize::MAX);
 
-fn cache() -> &'static Mutex<LruCache> {
+fn cache() -> &'static Mutex<LruCache<CacheKey, CacheEntry>> {
     CACHE.get_or_init(|| Mutex::new(LruCache::new()))
 }
 
@@ -243,6 +267,111 @@ pub(crate) fn put_backward(
         is_first,
     };
     insert(key(gemm, density, config, pass), (report, Some(decision)));
+}
+
+/// Which schedule a capacity profile describes. Unlike [`PassKey`], a
+/// backward entry pins one *candidate schedule* — not a technique, whose
+/// winning candidate may change with SPM capacity — because a profile
+/// curve must describe a single access stream across every capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ProfilePass {
+    /// The forward nest.
+    Forward,
+    /// One single-builder backward emission.
+    Plain {
+        order: BackwardOrder,
+        is_first: bool,
+    },
+    /// One sequential-partition backward emission (all sub-GEMMs).
+    Partition {
+        scheme: PartitionScheme,
+        parts: u64,
+        order: BackwardOrder,
+        is_first: bool,
+    },
+}
+
+/// Key of the capacity-oblivious profile cache: the config fingerprint has
+/// its SPM field zeroed, so one entry serves the entire SPM ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    gemm: GemmShape,
+    density_bits: u64,
+    config: ConfigFingerprint,
+    pass: ProfilePass,
+}
+
+/// Exact replay results of one schedule at sampled SPM capacities,
+/// ascending in `spm_bytes`. Reports are the *raw* replay outputs — for
+/// partition candidates the reduction cost is added back by the caller.
+pub(crate) type ProfileCurve = Vec<(u64, SimReport)>;
+
+static PROFILE: OnceLock<Mutex<LruCache<ProfileKey, ProfileCurve>>> = OnceLock::new();
+
+fn profile_cache() -> &'static Mutex<LruCache<ProfileKey, ProfileCurve>> {
+    PROFILE.get_or_init(|| Mutex::new(LruCache::new()))
+}
+
+fn profile_key(gemm: GemmShape, density: f64, config: &NpuConfig, pass: ProfilePass) -> ProfileKey {
+    ProfileKey {
+        gemm,
+        density_bits: density.to_bits(),
+        config: ConfigFingerprint::sans_spm(config),
+        pass,
+    }
+}
+
+/// The profiled capacity curve of one schedule, if any rung of it has been
+/// replayed before. Hits and misses count into the shared cache counters.
+pub(crate) fn get_profile(
+    gemm: GemmShape,
+    density: f64,
+    config: &NpuConfig,
+    pass: ProfilePass,
+) -> Option<ProfileCurve> {
+    let got = profile_cache()
+        .lock()
+        .unwrap()
+        .get(&profile_key(gemm, density, config, pass));
+    match got {
+        Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
+        None => MISSES.fetch_add(1, Ordering::Relaxed),
+    };
+    got
+}
+
+/// Merge freshly replayed `(spm_bytes, report)` points into the profile
+/// curve of one schedule. Existing points win ties (both sides are outputs
+/// of the same deterministic replay, so the values are identical anyway).
+pub(crate) fn put_profile(
+    gemm: GemmShape,
+    density: f64,
+    config: &NpuConfig,
+    pass: ProfilePass,
+    points: &[(u64, SimReport)],
+) {
+    if points.is_empty() {
+        return;
+    }
+    let k = profile_key(gemm, density, config, pass);
+    let cap = sim_cache_cap();
+    let mut cache = profile_cache().lock().unwrap();
+    let mut curve = cache
+        .map
+        .get(&k)
+        .map(|(v, _)| v.clone())
+        .unwrap_or_default();
+    for &(spm, report) in points {
+        if let Err(i) = curve.binary_search_by_key(&spm, |&(s, _)| s) {
+            curve.insert(i, (spm, report));
+        }
+    }
+    cache.insert(k, curve, cap);
+}
+
+/// Number of schedules with a memoized capacity profile.
+pub fn sim_profile_cache_len() -> usize {
+    profile_cache().lock().unwrap().map.len()
 }
 
 /// Hit/miss/eviction counters of the layer memo cache.
@@ -371,6 +500,61 @@ mod tests {
         // rely on memoization never see evictions from this one.
         set_sim_cache_cap(9_999_999);
         assert_eq!(sim_cache_cap(), 9_999_999);
+    }
+
+    #[test]
+    fn profile_cache_merges_points_and_ignores_spm() {
+        // A deliberately unique shape so no other test collides.
+        let gemm = GemmShape::new(7873, 7867, 7853);
+        let config = NpuConfig::small_edge();
+        let shrunk = config.clone().with_spm_bytes(config.spm_bytes / 2);
+        let pass = ProfilePass::Plain {
+            order: BackwardOrder::Interleaved,
+            is_first: false,
+        };
+        assert_eq!(get_profile(gemm, 1.0, &config, pass), None);
+        let rep = |cycles| SimReport {
+            cycles,
+            ..Default::default()
+        };
+        put_profile(
+            gemm,
+            1.0,
+            &config,
+            pass,
+            &[(4096, rep(40)), (1024, rep(10))],
+        );
+        // A second put through a *different SPM size* merges into the same
+        // curve: the key is capacity-oblivious.
+        put_profile(
+            gemm,
+            1.0,
+            &shrunk,
+            pass,
+            &[(2048, rep(20)), (1024, rep(99))],
+        );
+        let curve = get_profile(gemm, 1.0, &shrunk, pass).expect("curve cached");
+        assert_eq!(
+            curve
+                .iter()
+                .map(|&(s, r)| (s, r.cycles))
+                .collect::<Vec<_>>(),
+            vec![(1024, 10), (2048, 20), (4096, 40)],
+            "points sorted ascending, first write wins ties"
+        );
+        assert_eq!(
+            get_profile(
+                gemm,
+                1.0,
+                &config,
+                ProfilePass::Plain {
+                    order: BackwardOrder::Interleaved,
+                    is_first: true,
+                },
+            ),
+            None,
+            "pass position is keyed"
+        );
     }
 
     #[test]

@@ -77,38 +77,45 @@ pub fn analytic_run_count() -> u64 {
     ANALYTIC_RUNS.load(Ordering::Relaxed)
 }
 
+/// Count one analytic run. The ladder profiler ([`crate::stackdist`])
+/// evaluates a whole capacity ladder per pass and charges it as a single
+/// run — that collapse is exactly what the counter is meant to expose.
+pub(crate) fn bump_analytic_runs() {
+    ANALYTIC_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Sentinel dense id marking a kernel boundary in the collected stream
 /// (mirrors the engine's flattened-stream sentinel).
-const BARRIER_ID: u32 = u32::MAX;
+pub(crate) const BARRIER_ID: u32 = u32::MAX;
 
 /// Flag bit of [`AccessRec::bytes_dirty`] marking an accumulator touch.
-const DIRTY_BIT: u32 = 1 << 31;
+pub(crate) const DIRTY_BIT: u32 = 1 << 31;
 
 /// Byte-count mask of [`AccessRec::bytes_dirty`].
-const BYTES_MASK: u32 = DIRTY_BIT - 1;
+pub(crate) const BYTES_MASK: u32 = DIRTY_BIT - 1;
 
 /// "Not used again" sentinel of the next-use oracle.
-const NO_USE: u32 = u32::MAX;
+pub(crate) const NO_USE: u32 = u32::MAX;
 
 /// One recorded tile access, packed to 16 bytes so replay streams a
 /// cache line per four accesses.
 #[derive(Debug, Clone, Copy)]
-struct AccessRec {
+pub(crate) struct AccessRec {
     /// Victim-ordering rank: `(tensor_raw << 32) | (r·cols + c)`. Because
     /// [`crate::trace::TileKey`]'s derived order is lexicographic
     /// `(tensor, r, c)` and `c < cols` within a tensor, this packing is
     /// order-isomorphic to the key — so heap tie-breaks on `rank` match
     /// the engine's tie-breaks on `TileKey` exactly.
-    rank: u64,
+    pub(crate) rank: u64,
     /// Dense tile id (`base + r·cols + c`), or [`BARRIER_ID`].
-    id: u32,
+    pub(crate) id: u32,
     /// Access bytes (`< 2^31`, asserted at emission) with [`DIRTY_BIT`]
     /// flagging accumulator touches.
-    bytes_dirty: u32,
+    pub(crate) bytes_dirty: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
-enum OpRec {
+pub(crate) enum OpRec {
     /// A tile GEMM with `accesses` consecutive entries in the access stream.
     Gemm { accesses: u32, compute: GemmShape },
     /// Pure data movement.
@@ -161,6 +168,21 @@ impl AnalyticCollector {
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// The packed access stream, for the ladder profiler's shared pass.
+    pub(crate) fn stream(&self) -> &[AccessRec] {
+        &self.stream
+    }
+
+    /// The recorded op stream.
+    pub(crate) fn ops(&self) -> &[OpRec] {
+        &self.ops
+    }
+
+    /// Dense tile id → traffic class.
+    pub(crate) fn dense_class(&self) -> &[TensorClass] {
+        &self.dense_class
     }
 
     /// Register `tensor` with the extents of `grid` so its tiles map to
@@ -445,7 +467,7 @@ impl ReplayOptCache {
     /// hit. The victim index is left untouched; the barrier `clear` that
     /// ends the region resets it before any bounded-path access can
     /// observe it.
-    fn access_unbounded(&mut self, id: u32, bytes: u32, dirty: bool) -> u64 {
+    pub(crate) fn access_unbounded(&mut self, id: u32, bytes: u32, dirty: bool) -> u64 {
         let slot = &mut self.slots[id as usize];
         if slot.resident {
             slot.dirty |= dirty;

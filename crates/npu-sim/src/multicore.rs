@@ -94,6 +94,26 @@ fn reduction_cost(config: &NpuConfig, reduction: Option<StreamOp>, traffic: &mut
     }
 }
 
+/// Collapse one inner (concatenated-segments) report plus the reduction
+/// into a combined [`SimReport`] — exactly what
+/// [`run_sequential_partitions`]'s `.combined()` yields, without
+/// re-running the segments. Used by the capacity-ladder pipeline, which
+/// replays the inner stream once per SPM rung and pays the
+/// (capacity-independent) reduction afterwards.
+pub fn sequential_combined(
+    config: &NpuConfig,
+    inner: SimReport,
+    reduction: Option<StreamOp>,
+) -> SimReport {
+    let mut traffic = inner.traffic;
+    let reduction_cycles = reduction_cost(config, reduction, &mut traffic);
+    SimReport {
+        cycles: inner.cycles + reduction_cycles,
+        traffic,
+        ..inner
+    }
+}
+
 /// Run one schedule per core concurrently.
 ///
 /// `per_core.len()` may be smaller than `config.cores` (idle cores), but

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Performance benchmark for the IGO workspace.
 #
-# Runs `igo-sim perf` (the cold-cache SPM-ladder sweep that compares the
-# engine path against the analytic fast path) plus a design-space sweep
-# micro-benchmark, and records the numbers in BENCH_<N>.json at the repo
-# root so the perf trajectory is tracked across PRs. Hermetic: no network.
+# Runs `igo-sim perf` (the cold-cache SPM-ladder sweeps that compare the
+# engine path against the analytic fast path, and flat per-rung replay
+# against the capacity-oblivious profiler) plus a design-space sweep
+# micro-benchmark in both execution modes (profiled vs --no-profile),
+# and records the numbers in BENCH_<N>.json at the repo root so the perf
+# trajectory is tracked across PRs. Hermetic: no network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
-BENCH_ID="${BENCH_ID:-4}"
+BENCH_ID="${BENCH_ID:-5}"
 OUT="BENCH_${BENCH_ID}.json"
 
 cargo build --release -q -p igo-cli
@@ -21,12 +23,38 @@ PERF_LOG="$(mktemp)"
 engine_s="$(awk '/^engine-path/   { sub(/s$/, "", $2); print $2 }' "$PERF_LOG")"
 analytic_s="$(awk '/^analytic-path/ { sub(/s$/, "", $2); print $2 }' "$PERF_LOG")"
 speedup="$(awk '/analytic speedup/ { for (i=1;i<=NF;i++) if ($i=="speedup") { sub(/x$/, "", $(i+1)); print $(i+1) } }' "$PERF_LOG")"
-identical="$(awk -F': *' '/^bit-identical/ { split($2, a, " "); print (a[1]=="yes") ? "true" : "false" }' "$PERF_LOG" | tail -1)"
+identical="$(awk -F': *' '/^bit-identical.*analytic speedup/ { split($2, a, " "); print (a[1]=="yes") ? "true" : "false" }' "$PERF_LOG")"
 
-echo "== igo-sim sweep zoo (micro-benchmark) =="
+# The capacity-oblivious profiler arm: flat replay-per-rung vs one
+# profiling pass per candidate schedule, memoization off in both.
+flat_s="$(awk '/^flat-replay/ { sub(/s$/, "", $2); print $2 }' "$PERF_LOG")"
+profiled_s="$(awk '/^profiled/ { sub(/s$/, "", $2); print $2 }' "$PERF_LOG")"
+profile_speedup="$(awk '/profile speedup/ { for (i=1;i<=NF;i++) if ($i=="speedup") { sub(/x$/, "", $(i+1)); print $(i+1) } }' "$PERF_LOG")"
+profile_identical="$(awk -F': *' '/^bit-identical.*profile speedup/ { split($2, a, " "); print (a[1]=="yes") ? "true" : "false" }' "$PERF_LOG")"
+
+echo "== igo-sim sweep zoo (micro-benchmark: profiled vs --no-profile) =="
 SWEEP_DIR="$(mktemp -d)"
-./target/release/igo-sim sweep zoo --spm 3,6,12,24 --out "$SWEEP_DIR" >/dev/null
-SWEEP_SUMMARY="$(cat "$SWEEP_DIR/summary.json")"
+run_sweep() { # run_sweep <subdir> [extra flags...]; echoes the run's wall seconds
+  local sub="$1"
+  shift
+  ./target/release/igo-sim sweep zoo --spm 3,6,12,24 --out "$SWEEP_DIR/$sub" "$@" >/dev/null
+  grep -o '"wall_seconds":[0-9.]*' "$SWEEP_DIR/$sub/summary.json" | cut -d: -f2
+}
+# Interleave the two modes and keep the min of two runs each, so a noisy
+# box does not bias the recorded comparison toward either mode.
+p1="$(run_sweep prof)"
+f1="$(run_sweep flat --no-profile)"
+p2="$(run_sweep prof)"
+f2="$(run_sweep flat --no-profile)"
+prof_wall="$(printf '%s\n%s\n' "$p1" "$p2" | sort -g | head -1)"
+flat_wall="$(printf '%s\n%s\n' "$f1" "$f2" | sort -g | head -1)"
+sweep_speedup="$(awk -v f="$flat_wall" -v p="$prof_wall" 'BEGIN { printf "%.3f", f / p }')"
+SWEEP_SUMMARY="$(cat "$SWEEP_DIR/prof/summary.json")"
+FLAT_SUMMARY="$(cat "$SWEEP_DIR/flat/summary.json")"
+best_prof="$(grep -o '"best":.*' "$SWEEP_DIR/prof/summary.json")"
+best_flat="$(grep -o '"best":.*' "$SWEEP_DIR/flat/summary.json")"
+if [ "$best_prof" = "$best_flat" ]; then frontier_identical=true; else frontier_identical=false; fi
+echo "profiled ${prof_wall}s vs flat ${flat_wall}s  (speedup ${sweep_speedup}x, frontier identical: ${frontier_identical})"
 
 cat > "$OUT" <<JSON
 {
@@ -37,7 +65,20 @@ cat > "$OUT" <<JSON
     "analytic_speedup": ${speedup},
     "bit_identical": ${identical}
   },
-  "sweep_zoo": ${SWEEP_SUMMARY}
+  "perf_profile": {
+    "flat_replay_seconds": ${flat_s},
+    "profiled_seconds": ${profiled_s},
+    "profile_speedup": ${profile_speedup},
+    "bit_identical": ${profile_identical}
+  },
+  "sweep_profile": {
+    "profiled_wall_seconds": ${prof_wall},
+    "no_profile_wall_seconds": ${flat_wall},
+    "profiled_speedup": ${sweep_speedup},
+    "frontier_identical": ${frontier_identical}
+  },
+  "sweep_zoo": ${SWEEP_SUMMARY},
+  "sweep_zoo_no_profile": ${FLAT_SUMMARY}
 }
 JSON
 rm -rf "$PERF_LOG" "$SWEEP_DIR"
